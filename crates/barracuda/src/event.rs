@@ -1,0 +1,48 @@
+//! The records Barracuda ships from the GPU to the CPU.
+//!
+//! Unlike iGUARD, which only ships race *reports*, Barracuda ships **every
+//! memory access and synchronization operation** — this per-event
+//! serialization is the paper's explanation for its 10–1000× overheads.
+
+/// One device→host record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A global-memory access by one thread.
+    Access {
+        /// Word index (byte address / 4).
+        word: u32,
+        /// Global thread id.
+        tid: u32,
+        /// Global warp id (for the lockstep assumption).
+        warp: u32,
+        /// Store or atomic.
+        is_write: bool,
+        /// Atomic operation (release/acquire on the location).
+        is_atomic: bool,
+        /// pc of the access, for reporting.
+        pc: usize,
+    },
+    /// A released `__syncthreads()`.
+    BlockBarrier {
+        /// Block whose threads synchronized.
+        block: u32,
+    },
+    /// A `__threadfence[_block]()` by one thread.
+    Fence {
+        /// Global thread id.
+        tid: u32,
+        /// True for device scope.
+        device_scope: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_compact() {
+        // The shipping cost model assumes fixed-size ring-buffer slots.
+        assert!(std::mem::size_of::<Event>() <= 32);
+    }
+}

@@ -1,0 +1,468 @@
+//! The CPU-side happens-before engine.
+//!
+//! Consumes the serialized event stream shipped from the GPU and applies a
+//! FastTrack-flavoured analysis:
+//!
+//! - `__syncthreads()` joins the clocks of a block's threads (barrier);
+//! - fences behave as SC fences against a per-block or global fence clock
+//!   (Barracuda "detects races due to threadfences", §4);
+//! - (device-scope) atomics are release+acquire on their location;
+//! - **same-warp accesses are assumed ordered** — the pre-Volta lockstep
+//!   assumption baked into Barracuda (SM35), which is exactly why it
+//!   misses ITS races (§4, Table 1);
+//! - scoped (`_block`) atomics are *unsupported*: the front end refuses
+//!   such binaries before execution (see [`crate::supports`]).
+
+use std::collections::HashMap;
+
+use crate::event::Event;
+use crate::vc::{Epoch, VectorClock};
+
+/// A race found by the CPU-side analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuRace {
+    /// pc of the second (racing) access.
+    pub pc: usize,
+    /// Word index raced on.
+    pub word: u32,
+    /// The two unordered threads.
+    pub tids: (u32, u32),
+    /// Whether the second access was a write.
+    pub second_is_write: bool,
+}
+
+#[derive(Debug, Default, Clone)]
+struct WordState {
+    write: Option<Epoch>,
+    write_warp: u32,
+    reads: Vec<(Epoch, u32)>, // (epoch, warp)
+}
+
+/// The happens-before detector state.
+#[derive(Debug)]
+pub struct HbDetector {
+    threads: usize,
+    block_dim: u32,
+    vc: Vec<VectorClock>,
+    global_fence: VectorClock,
+    block_fence: Vec<VectorClock>,
+    /// Per thread: own-clock value at its last *device-scope* fence. CUDA
+    /// atomics are relaxed, so an atomic release publishes only writes the
+    /// thread has device-fenced — this is what lets Barracuda catch
+    /// wrongly-scoped fences (Table 1 "Sc. fence: Yes").
+    dev_released: Vec<u32>,
+    loc_sync: HashMap<u32, VectorClock>,
+    words: HashMap<u32, WordState>,
+    races: Vec<CpuRace>,
+    seen: std::collections::HashSet<(usize, bool)>,
+    /// Events processed (the serialized CPU work the paper blames for
+    /// Barracuda's overheads).
+    pub events_processed: u64,
+}
+
+impl HbDetector {
+    /// State for a launch of `blocks` × `block_dim` threads.
+    #[must_use]
+    pub fn new(blocks: u32, block_dim: u32) -> Self {
+        let threads = (blocks * block_dim) as usize;
+        HbDetector {
+            threads,
+            block_dim,
+            vc: (0..threads).map(|_| VectorClock::new(threads)).collect(),
+            global_fence: VectorClock::new(threads),
+            block_fence: (0..blocks).map(|_| VectorClock::new(threads)).collect(),
+            dev_released: vec![0; threads],
+            loc_sync: HashMap::new(),
+            words: HashMap::new(),
+            races: Vec::new(),
+            seen: std::collections::HashSet::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Races found so far (deduplicated per (pc, direction)).
+    #[must_use]
+    pub fn races(&self) -> &[CpuRace] {
+        &self.races
+    }
+
+    /// Applies one event.
+    pub fn process(&mut self, ev: &Event) {
+        self.events_processed += 1;
+        match *ev {
+            Event::Access {
+                word,
+                tid,
+                warp,
+                is_write,
+                is_atomic,
+                pc,
+            } => {
+                self.access(word, tid, warp, is_write, is_atomic, pc);
+            }
+            Event::BlockBarrier { block } => self.barrier(block),
+            Event::Fence { tid, device_scope } => self.fence(tid, device_scope),
+        }
+    }
+
+    fn report(&mut self, pc: usize, word: u32, other: u32, tid: u32, second_is_write: bool) {
+        if self.seen.insert((pc, second_is_write)) {
+            self.races.push(CpuRace {
+                pc,
+                word,
+                tids: (other, tid),
+                second_is_write,
+            });
+        }
+    }
+
+    fn access(
+        &mut self,
+        word: u32,
+        tid: u32,
+        warp: u32,
+        is_write: bool,
+        is_atomic: bool,
+        pc: usize,
+    ) {
+        if is_atomic {
+            // Acquire through the location's sync clock.
+            if let Some(l) = self.loc_sync.get(&word) {
+                self.vc[tid as usize].join(l);
+            }
+        }
+        // An atomic read acquires through the location and is otherwise
+        // invisible: it cannot tear, and atomic writes do not race with it.
+        if is_atomic && !is_write {
+            return;
+        }
+
+        // Snapshot the word state so the reports below can borrow self.
+        let snapshot = self.words.get(&word).cloned().unwrap_or_default();
+        let my_vc = &self.vc[tid as usize];
+
+        // Write-read / write-write conflicts with the last write.
+        if let Some(w) = snapshot.write {
+            let same_warp = snapshot.write_warp_id() == warp; // lockstep assumption
+            let both_atomic = is_atomic && snapshot.write_is_atomic();
+            if w.tid != tid && !same_warp && !both_atomic && !my_vc.covers(w.tid, w.clk) {
+                self.report(pc, word, w.tid, tid, is_write);
+            }
+        }
+        // Read-write conflicts: a write must be ordered after every read.
+        if is_write {
+            let my_vc = &self.vc[tid as usize];
+            let racy = snapshot
+                .reads
+                .iter()
+                .find(|(r, rwarp)| r.tid != tid && *rwarp != warp && !my_vc.covers(r.tid, r.clk))
+                .map(|(r, _)| r.tid);
+            if let Some(other) = racy {
+                self.report(pc, word, other, tid, true);
+            }
+        }
+
+        // Update epochs.
+        let clk = self.vc[tid as usize].get(tid).max(1);
+        let state = self.words.entry(word).or_default();
+        if is_write {
+            state.write = Some(Epoch { tid, clk });
+            state.write_warp = warp;
+            state.set_write_atomic(is_atomic);
+            state.reads.clear();
+        } else {
+            state.reads.retain(|(r, _)| r.tid != tid);
+            state.reads.push((Epoch { tid, clk }, warp));
+        }
+
+        if is_atomic {
+            // A relaxed atomic's "release" publishes only the writes the
+            // calling thread has already ordered with a *device-scope*
+            // fence — not its unfenced stores, and not writes it merely
+            // observed through a barrier (the Figure 10 subtlety). The
+            // atomic write itself stays atomic via the epoch bookkeeping.
+            self.vc[tid as usize].tick(tid);
+            let released = self.dev_released[tid as usize];
+            self.loc_sync
+                .entry(word)
+                .or_insert_with(|| VectorClock::new(self.threads))
+                .raise(tid, released);
+        }
+    }
+
+    fn barrier(&mut self, block: u32) {
+        let base = (block * self.block_dim) as usize;
+        let end = (base + self.block_dim as usize).min(self.threads);
+        let mut joined = VectorClock::new(self.threads);
+        for t in base..end {
+            self.vc[t].tick(t as u32);
+            joined.join(&self.vc[t]);
+        }
+        for t in base..end {
+            self.vc[t] = joined.clone();
+        }
+    }
+
+    fn fence(&mut self, tid: u32, device_scope: bool) {
+        self.vc[tid as usize].tick(tid);
+        let own = self.vc[tid as usize].get(tid);
+        if device_scope {
+            self.dev_released[tid as usize] = own;
+        }
+        let clock = if device_scope {
+            &mut self.global_fence
+        } else {
+            &mut self.block_fence[(tid / self.block_dim) as usize]
+        };
+        // Release: the fence publishes only the calling thread's writes
+        // ("the effect of a threadfence is limited to writes of the
+        // calling thread only", §7.1). Acquire: the thread observes every
+        // write published into the fence clock so far.
+        clock.raise(tid, own);
+        let snapshot = clock.clone();
+        self.vc[tid as usize].join(&snapshot);
+    }
+}
+
+impl WordState {
+    // The write-atomicity bit is folded into `write_warp`'s top bit to keep
+    // the struct small; these helpers keep that encoding in one place.
+    fn set_write_atomic(&mut self, atomic: bool) {
+        if atomic {
+            self.write_warp |= 1 << 31;
+        } else {
+            self.write_warp &= !(1 << 31);
+        }
+    }
+
+    fn write_is_atomic(&self) -> bool {
+        self.write_warp & (1 << 31) != 0
+    }
+
+    fn write_warp_id(&self) -> u32 {
+        self.write_warp & !(1 << 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(word: u32, tid: u32, warp: u32, is_write: bool, pc: usize) -> Event {
+        Event::Access {
+            word,
+            tid,
+            warp,
+            is_write,
+            is_atomic: false,
+            pc,
+        }
+    }
+
+    #[test]
+    fn unordered_cross_warp_write_read_is_race() {
+        let mut hb = HbDetector::new(1, 64);
+        hb.process(&access(0, 40, 1, true, 1)); // warp 1 writes
+        hb.process(&access(0, 0, 0, false, 2)); // warp 0 reads, no sync
+        assert_eq!(hb.races().len(), 1);
+        assert_eq!(hb.races()[0].tids, (40, 0));
+    }
+
+    #[test]
+    fn barrier_orders_block_accesses() {
+        let mut hb = HbDetector::new(1, 64);
+        hb.process(&access(0, 40, 1, true, 1));
+        hb.process(&Event::BlockBarrier { block: 0 });
+        hb.process(&access(0, 0, 0, false, 2));
+        assert!(hb.races().is_empty());
+    }
+
+    #[test]
+    fn same_warp_conflicts_are_assumed_ordered() {
+        // The SM35 lockstep assumption: Barracuda misses ITS races (§4).
+        let mut hb = HbDetector::new(1, 32);
+        hb.process(&access(0, 1, 0, true, 1));
+        hb.process(&access(0, 0, 0, false, 2));
+        assert!(
+            hb.races().is_empty(),
+            "Barracuda cannot see intra-warp races"
+        );
+    }
+
+    #[test]
+    fn fence_pair_orders_cross_block_accesses() {
+        let mut hb = HbDetector::new(2, 32);
+        hb.process(&access(0, 0, 0, true, 1)); // block 0 writes
+        hb.process(&Event::Fence {
+            tid: 0,
+            device_scope: true,
+        }); // release
+        hb.process(&Event::Fence {
+            tid: 32,
+            device_scope: true,
+        }); // acquire
+        hb.process(&access(0, 32, 1, false, 2)); // block 1 reads
+        assert!(hb.races().is_empty());
+    }
+
+    #[test]
+    fn missing_release_fence_is_race() {
+        let mut hb = HbDetector::new(2, 32);
+        hb.process(&access(0, 0, 0, true, 1));
+        hb.process(&Event::Fence {
+            tid: 32,
+            device_scope: true,
+        }); // acquire only
+        hb.process(&access(0, 32, 1, false, 2));
+        assert_eq!(hb.races().len(), 1);
+    }
+
+    #[test]
+    fn block_fence_does_not_order_cross_block() {
+        let mut hb = HbDetector::new(2, 32);
+        hb.process(&access(0, 0, 0, true, 1));
+        hb.process(&Event::Fence {
+            tid: 0,
+            device_scope: false,
+        });
+        hb.process(&Event::Fence {
+            tid: 32,
+            device_scope: false,
+        });
+        hb.process(&access(0, 32, 1, false, 2));
+        assert_eq!(
+            hb.races().len(),
+            1,
+            "block fences must not synchronize across blocks"
+        );
+    }
+
+    #[test]
+    fn fenced_atomics_synchronize_through_their_location() {
+        let mut hb = HbDetector::new(2, 32);
+        // Producer: write data(1), device fence, release via atomic on flag(0).
+        hb.process(&access(1, 0, 0, true, 1));
+        hb.process(&Event::Fence {
+            tid: 0,
+            device_scope: true,
+        });
+        hb.process(&Event::Access {
+            word: 0,
+            tid: 0,
+            warp: 0,
+            is_write: true,
+            is_atomic: true,
+            pc: 2,
+        });
+        // Consumer: acquire via atomic on flag, then read data.
+        hb.process(&Event::Access {
+            word: 0,
+            tid: 32,
+            warp: 1,
+            is_write: true,
+            is_atomic: true,
+            pc: 3,
+        });
+        hb.process(&access(1, 32, 1, false, 4));
+        assert!(
+            hb.races().is_empty(),
+            "fence + atomic release/acquire must order the data access"
+        );
+    }
+
+    #[test]
+    fn unfenced_atomic_release_does_not_order_plain_writes() {
+        // CUDA atomics are relaxed: without the device fence, the data
+        // write is not published — and a *block*-scope fence is not enough
+        // (the wrongly-scoped-fence races Barracuda detects, Table 1).
+        let mut hb = HbDetector::new(2, 32);
+        hb.process(&access(1, 0, 0, true, 1));
+        hb.process(&Event::Fence {
+            tid: 0,
+            device_scope: false,
+        }); // wrong scope
+        hb.process(&Event::Access {
+            word: 0,
+            tid: 0,
+            warp: 0,
+            is_write: true,
+            is_atomic: true,
+            pc: 2,
+        });
+        hb.process(&Event::Access {
+            word: 0,
+            tid: 32,
+            warp: 1,
+            is_write: true,
+            is_atomic: true,
+            pc: 3,
+        });
+        hb.process(&access(1, 32, 1, false, 4));
+        assert_eq!(
+            hb.races().len(),
+            1,
+            "block fence must not release across blocks"
+        );
+    }
+
+    #[test]
+    fn write_write_race_detected() {
+        let mut hb = HbDetector::new(2, 32);
+        hb.process(&access(0, 0, 0, true, 1));
+        hb.process(&access(0, 32, 1, true, 2));
+        assert_eq!(hb.races().len(), 1);
+    }
+
+    #[test]
+    fn read_write_race_detected() {
+        let mut hb = HbDetector::new(2, 32);
+        hb.process(&access(0, 0, 0, false, 1));
+        hb.process(&access(0, 32, 1, true, 2));
+        assert_eq!(hb.races().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_races_deduplicated_by_pc() {
+        let mut hb = HbDetector::new(1, 64);
+        hb.process(&access(0, 40, 1, true, 1));
+        for _ in 0..10 {
+            hb.process(&access(0, 0, 0, false, 2));
+        }
+        assert_eq!(hb.races().len(), 1);
+    }
+
+    #[test]
+    fn multiple_unordered_readers_all_conflict_with_a_write() {
+        // Reader epochs accumulate; a later write must be checked against
+        // every live reader, not just the most recent one.
+        let mut hb = HbDetector::new(2, 32);
+        hb.process(&access(0, 0, 0, false, 1)); // block 0 reads
+        hb.process(&access(0, 5, 0, false, 2)); // same warp, another reader
+        hb.process(&access(0, 40, 1, false, 3)); // block 1 reads
+        hb.process(&access(0, 33, 1, true, 4)); // block 1 writes
+                                                // The write conflicts with block 0's readers (no sync).
+        assert_eq!(hb.races().len(), 1);
+    }
+
+    #[test]
+    fn barrier_then_write_after_reads_is_ordered() {
+        let mut hb = HbDetector::new(1, 64);
+        hb.process(&access(0, 0, 0, false, 1));
+        hb.process(&access(0, 40, 1, false, 2));
+        hb.process(&Event::BlockBarrier { block: 0 });
+        hb.process(&access(0, 33, 1, true, 3));
+        assert!(hb.races().is_empty());
+    }
+
+    #[test]
+    fn a_write_clears_the_reader_set() {
+        let mut hb = HbDetector::new(1, 64);
+        hb.process(&access(0, 0, 0, false, 1));
+        hb.process(&Event::BlockBarrier { block: 0 });
+        hb.process(&access(0, 40, 1, true, 2)); // ordered write
+        hb.process(&Event::BlockBarrier { block: 0 });
+        // A later ordered read conflicts with nothing stale.
+        hb.process(&access(0, 5, 0, false, 3));
+        assert!(hb.races().is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Vector clocks for the CPU-side happens-before detector.
+//!
+//! Barracuda performs its race detection on the host, where pairwise
+//! thread-ordering state is affordable (§4: "detecting GPU races
+//! effectively reduces to that on the CPU"). This module provides the
+//! dense vector-clock arithmetic that analysis uses. The cost of this
+//! luxury is exactly what iGUARD's in-GPU design avoids: every event must
+//! funnel through one serialized consumer.
+
+/// A dense vector clock over `n` threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    clocks: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock over `n` threads.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        VectorClock { clocks: vec![0; n] }
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Whether the clock has no components.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// Component `tid`.
+    #[must_use]
+    pub fn get(&self, tid: u32) -> u32 {
+        self.clocks[tid as usize]
+    }
+
+    /// Advances this thread's own component (a release point).
+    pub fn tick(&mut self, tid: u32) {
+        self.clocks[tid as usize] += 1;
+    }
+
+    /// Pointwise maximum with `other` (acquire).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.clocks.iter_mut().zip(&other.clocks) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Raises component `tid` to at least `clk` — the *release* of one
+    /// thread's own writes. CUDA fences publish only the calling thread's
+    /// writes (the Figure 10 subtlety), so releases must not leak the
+    /// whole clock.
+    pub fn raise(&mut self, tid: u32, clk: u32) {
+        let c = &mut self.clocks[tid as usize];
+        *c = (*c).max(clk);
+    }
+
+    /// Does the epoch `(tid, clk)` happen before this clock?
+    #[must_use]
+    pub fn covers(&self, tid: u32, clk: u32) -> bool {
+        self.get(tid) >= clk
+    }
+}
+
+/// A lightweight `(thread, clock)` epoch, FastTrack style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// Thread id.
+    pub tid: u32,
+    /// That thread's clock at the access.
+    pub clk: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clock_is_zero() {
+        let vc = VectorClock::new(4);
+        assert_eq!(vc.get(0), 0);
+        assert!(vc.covers(2, 0));
+        assert!(!vc.covers(2, 1));
+    }
+
+    #[test]
+    fn tick_advances_own_component_only() {
+        let mut vc = VectorClock::new(4);
+        vc.tick(1);
+        assert_eq!(vc.get(1), 1);
+        assert_eq!(vc.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 0);
+    }
+
+    #[test]
+    fn covers_is_happens_before() {
+        let mut writer = VectorClock::new(2);
+        writer.tick(0); // write at epoch (0, 1)... then release
+        let epoch = Epoch {
+            tid: 0,
+            clk: writer.get(0),
+        };
+        let mut reader = VectorClock::new(2);
+        assert!(!reader.covers(epoch.tid, epoch.clk), "unsynchronized: race");
+        reader.join(&writer);
+        assert!(
+            reader.covers(epoch.tid, epoch.clk),
+            "after acquire: ordered"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Criterion microbenchmarks of the detector's hot path and the simulator
+//! substrate: what the *reproduction itself* costs to run, as opposed to
+//! the simulated-cycle figures the `fig*`/`table*` binaries report.
+//!
+//! ```text
+//! cargo bench -p bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gpu_sim::prelude::*;
+use iguard::bitfield::{AccessorInfo, Flags, MetadataEntry};
+use iguard::checks::{detailed, preliminary, AccessType, CurrAccess, MdView};
+use iguard::locks::LockTable;
+use iguard::{Iguard, IguardConfig};
+use nvbit_sim::Instrumented;
+
+/// A small device configuration so wall-clock measurements reflect the
+/// simulation and detection work, not zeroing the default 16 MiB backing
+/// store every iteration.
+fn small_device() -> GpuConfig {
+    GpuConfig {
+        mem_words: 1 << 14,
+        ..GpuConfig::default()
+    }
+}
+
+fn bench_bitfield(c: &mut Criterion) {
+    let entry = MetadataEntry {
+        tag: 0x2A5,
+        flags: Flags {
+            valid: true,
+            modified: true,
+            ..Flags::default()
+        },
+        accessor: AccessorInfo {
+            warp_id: 77,
+            lane: 13,
+            ..AccessorInfo::default()
+        },
+        writer: AccessorInfo {
+            warp_id: 3,
+            lane: 1,
+            ..AccessorInfo::default()
+        },
+        locks: 0xBEEF,
+    };
+    c.bench_function("metadata_pack_unpack", |b| {
+        b.iter(|| {
+            let (a, w) = black_box(entry).pack();
+            black_box(MetadataEntry::unpack(a, w))
+        });
+    });
+}
+
+fn bench_checks(c: &mut Criterion) {
+    let mut flags = Flags {
+        valid: true,
+        modified: true,
+        ..Flags::default()
+    };
+    flags.blk_shared = true;
+    let writer = AccessorInfo {
+        warp_id: 0,
+        lane: 3,
+        ..AccessorInfo::default()
+    };
+    let entry = MetadataEntry {
+        tag: 0,
+        flags,
+        accessor: writer,
+        writer,
+        locks: 0,
+    };
+    let md = MdView {
+        info: writer,
+        live_dev_fence: 0,
+        live_blk_fence: 0,
+    };
+    let curr = CurrAccess {
+        kind: AccessType::Store,
+        warp_id: 1,
+        lane: 3,
+        block_id: 0,
+        active_mask: 1 << 3,
+        snap: AccessorInfo {
+            warp_id: 1,
+            lane: 3,
+            ..AccessorInfo::default()
+        },
+        locks: 0,
+    };
+    c.bench_function("race_checks_p_and_r", |b| {
+        b.iter(|| {
+            let p = preliminary(black_box(&entry), black_box(&md), black_box(&curr), 4);
+            let r = detailed(black_box(&entry), black_box(&md), black_box(&curr), 4);
+            black_box((p, r))
+        });
+    });
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    c.bench_function("lock_table_acquire_release", |b| {
+        b.iter(|| {
+            let mut t = LockTable::default();
+            t.on_cas(black_box(0x1234), Scope::Device);
+            t.on_fence(Scope::Device);
+            let s = t.summary();
+            t.on_exch(0x1234, Scope::Device);
+            black_box(s)
+        });
+    });
+}
+
+/// A kernel with a dense mix of loads/stores/atomics for throughput tests.
+fn stream_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("bench_stream");
+    let base = b.param(0);
+    let g = b.special(Special::GlobalTid);
+    let off = b.mul(g, 4u32);
+    let a = b.add(base, off);
+    for _ in 0..8 {
+        let v = b.ld(a, 0);
+        let v2 = b.add(v, 1u32);
+        b.st(a, 0, v2);
+    }
+    let one = b.imm(1);
+    let _ = b.atomic_add(Scope::Device, base, 0, one);
+    b.build()
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let k = stream_kernel();
+    c.bench_function("sim_native_4x64", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(small_device());
+            let buf = gpu.alloc(512).unwrap();
+            gpu.launch(black_box(&k), 4, 64, &[buf], &mut NullHook)
+                .unwrap()
+        });
+    });
+}
+
+fn bench_detector_end_to_end(c: &mut Criterion) {
+    let k = stream_kernel();
+    c.bench_function("sim_iguard_4x64", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(small_device());
+            let buf = gpu.alloc(512).unwrap();
+            let mut tool = Instrumented::new(Iguard::new(IguardConfig::default()));
+            gpu.launch(black_box(&k), 4, 64, &[buf], &mut tool).unwrap()
+        });
+    });
+}
+
+fn bench_barracuda_end_to_end(c: &mut Criterion) {
+    let k = stream_kernel();
+    c.bench_function("sim_barracuda_4x64", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(small_device());
+            let buf = gpu.alloc(512).unwrap();
+            let mut tool = Instrumented::new(barracuda::Barracuda::new(
+                barracuda::BarracudaConfig::default(),
+            ));
+            gpu.launch(black_box(&k), 4, 64, &[buf], &mut tool).unwrap();
+            let clock = gpu.clock_mut();
+            black_box(tool.tool_mut().finish(clock).len())
+        });
+    });
+}
+
+fn bench_workloads_under_detectors(c: &mut Criterion) {
+    use workloads::Size;
+    let mut group = c.benchmark_group("workload_simulation");
+    group.sample_size(10);
+    for name in ["b_reduce", "graph-color", "hotspot"] {
+        let w = workloads::by_name(name).expect("workload exists");
+        group.bench_function(format!("{name}/native"), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(small_device());
+                let launches = w.build(&mut gpu, Size::Test);
+                for l in &launches {
+                    gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
+                        .unwrap();
+                }
+                black_box(gpu.clock().total_time())
+            });
+        });
+        group.bench_function(format!("{name}/iguard"), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(small_device());
+                let launches = w.build(&mut gpu, Size::Test);
+                let mut tool = Instrumented::new(Iguard::default());
+                for l in &launches {
+                    gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool)
+                        .unwrap();
+                }
+                black_box(tool.tool().unique_races())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitfield,
+    bench_checks,
+    bench_lock_table,
+    bench_simulator_throughput,
+    bench_detector_end_to_end,
+    bench_barracuda_end_to_end,
+    bench_workloads_under_detectors
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates the §1 microbenchmark claim: on a Titan RTX, a block-scope
+//! `__threadfence_block()` is **21× faster** than the device-scope
+//! `__threadfence()`. The simulator's cost model carries this ratio, and
+//! this harness measures it end-to-end by timing fence-heavy kernels.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fence_scope_cost
+//! ```
+
+use bench::{gpu_config, DEFAULT_SEED};
+use gpu_sim::prelude::*;
+
+fn fence_kernel(scope: Scope, fences: u32) -> Kernel {
+    let name = if scope == Scope::Block {
+        "fence_block"
+    } else {
+        "fence_device"
+    };
+    let mut b = KernelBuilder::new(name);
+    // Straight-line unrolled fences: no loop bookkeeping in the timing.
+    for _ in 0..fences {
+        b.membar(scope);
+    }
+    b.build()
+}
+
+fn time_kernel(k: &Kernel) -> f64 {
+    let mut gpu = Gpu::new(gpu_config(DEFAULT_SEED));
+    gpu.launch(k, 8, 128, &[], &mut NullHook).expect("launch");
+    gpu.clock().total_time()
+}
+
+fn main() {
+    const FENCES: u32 = 64;
+    // Differencing two iteration counts cancels the loop skeleton exactly.
+    let net_block = time_kernel(&fence_kernel(Scope::Block, 2 * FENCES))
+        - time_kernel(&fence_kernel(Scope::Block, FENCES));
+    let net_device = time_kernel(&fence_kernel(Scope::Device, 2 * FENCES))
+        - time_kernel(&fence_kernel(Scope::Device, FENCES));
+    println!("fence microbenchmark ({FENCES} fences/thread net, 8x128 grid)");
+    println!("  block-scope  __threadfence_block(): {net_block:>10.0} cycles");
+    println!("  device-scope __threadfence():       {net_device:>10.0} cycles");
+    println!(
+        "  ratio: {:.1}x   (paper Sec 1: block fence is 21x faster on Titan RTX)",
+        net_device / net_block
+    );
+}

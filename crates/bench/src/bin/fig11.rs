@@ -1,0 +1,100 @@
+//! Regenerates **Figure 11**: performance overhead of iGUARD and Barracuda
+//! normalized to native execution, (a) racey applications, (b) race-free
+//! applications. The paper's headline shape: iGUARD ≈ 5.1× mean across all
+//! workloads, Barracuda ≈ 61× on the race-free set it can run, ≈ 15× gap
+//! on the common subset.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig11
+//! ```
+
+use bench::{geomean, run_barracuda, run_iguard, run_native, BarracudaRun, DEFAULT_SEED};
+use iguard::IguardConfig;
+use workloads::{Size, Workload};
+
+fn row(w: &Workload) -> (f64, Option<f64>, &'static str) {
+    let native = run_native(w, Size::Bench, DEFAULT_SEED);
+    let ig = run_iguard(w, Size::Bench, DEFAULT_SEED, IguardConfig::default());
+    let ig_over = ig.time / native.time;
+    let bar = run_barracuda(w, Size::Bench, DEFAULT_SEED, bench::barracuda_config_for(w));
+    match bar {
+        BarracudaRun::Unsupported(_) => (ig_over, None, "unsupported"),
+        BarracudaRun::Ran { time, failure, .. } => {
+            let over = time / native.time;
+            match failure {
+                Some(barracuda::BarracudaFailure::DidNotTerminate) => {
+                    (ig_over, Some(over), "timeout")
+                }
+                Some(barracuda::BarracudaFailure::OutOfMemory { .. }) => (ig_over, None, "oom"),
+                None => (ig_over, Some(over), ""),
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut all_ig = Vec::new();
+    let mut common_ig = Vec::new();
+    let mut common_bar = Vec::new();
+
+    for (label, set) in [
+        ("(a) applications with races", workloads::racey()),
+        ("(b) race-free", workloads::clean()),
+    ] {
+        println!("Figure 11 {label}");
+        println!(
+            "{:<15} {:>9} {:>11}  note",
+            "workload", "iGUARD", "Barracuda"
+        );
+        println!("{}", "-".repeat(50));
+        let mut ig_set = Vec::new();
+        let mut bar_set = Vec::new();
+        for w in &set {
+            let (ig, bar, note) = row(w);
+            all_ig.push(ig);
+            ig_set.push(ig);
+            let bar_str = match bar {
+                Some(b) if note != "timeout" => {
+                    bar_set.push(b);
+                    common_ig.push(ig);
+                    common_bar.push(b);
+                    format!("{b:10.1}x")
+                }
+                Some(b) => format!("{b:9.1}x*"),
+                None => "-".to_string(),
+            };
+            println!("{:<15} {:>8.1}x {:>11}  {note}", w.name, ig, bar_str);
+        }
+        println!(
+            "set geomean: iGUARD {:.1}x{}",
+            geomean(&ig_set),
+            if bar_set.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", Barracuda {:.1}x (n={})",
+                    geomean(&bar_set),
+                    bar_set.len()
+                )
+            }
+        );
+        println!();
+    }
+
+    println!("== summary vs paper ==");
+    let amean = all_ig.iter().sum::<f64>() / all_ig.len() as f64;
+    println!(
+        "iGUARD all workloads: {:.1}x arithmetic mean, {:.1}x geomean   (paper: 5.1x mean over 42)",
+        amean,
+        geomean(&all_ig)
+    );
+    if !common_bar.is_empty() {
+        let gi = geomean(&common_ig);
+        let gb = geomean(&common_bar);
+        println!(
+            "common subset (n={}): iGUARD {gi:.1}x vs Barracuda {gb:.1}x — ratio {:.1}x   (paper: 3.9x vs 58.9x, ratio ~15x)",
+            common_bar.len(),
+            gb / gi
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Regenerates **Table 4**: races detected by Barracuda and iGUARD across
+//! the racey workloads, with race types.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table4 [-- --bench]
+//! ```
+//!
+//! `--bench` re-runs detection at the larger benchmark grid sizes; counts
+//! must be identical (the seeded sites are scale-invariant).
+
+use bench::{kinds_summary, run_barracuda, run_iguard, BarracudaRun, DEFAULT_SEED};
+use iguard::IguardConfig;
+use workloads::{BarracudaExpectation, Size};
+
+fn main() {
+    let size = if std::env::args().any(|a| a == "--bench") {
+        Size::Bench
+    } else {
+        Size::Test
+    };
+    println!("Table 4: Races detected by Barracuda and iGUARD");
+    println!("(paper column = counts reported in the paper; measured = this reproduction)");
+    println!();
+    println!(
+        "{:<10} {:<15} {:>6} {:>9} {:<14} {:>10}  (paper Barracuda)",
+        "Suite", "Application", "paper", "measured", "types", "Barracuda"
+    );
+    println!("{}", "-".repeat(90));
+
+    let mut total_paper = 0;
+    let mut total_measured = 0;
+    let mut mismatches = Vec::new();
+    for w in workloads::racey() {
+        let ig = run_iguard(&w, size, DEFAULT_SEED, IguardConfig::default());
+        let measured = ig.sites.len();
+        total_paper += w.paper_races;
+        total_measured += measured;
+
+        let bar = run_barracuda(
+            &w,
+            Size::Test,
+            DEFAULT_SEED,
+            bench::barracuda_config_for(&w),
+        );
+        let bar_str = match &bar {
+            BarracudaRun::Unsupported(u) => format!("unsup({u})"),
+            BarracudaRun::Ran { races, failure, .. } => match failure {
+                Some(barracuda::BarracudaFailure::DidNotTerminate) => format!("{races}*"),
+                Some(barracuda::BarracudaFailure::OutOfMemory { .. }) => "OOM".to_string(),
+                None => races.to_string(),
+            },
+        };
+        let paper_bar = match w.barracuda {
+            BarracudaExpectation::Unsupported => "unsup".to_string(),
+            BarracudaExpectation::Races(n) => n.to_string(),
+            BarracudaExpectation::Timeout(n) => format!("{n}*"),
+        };
+        println!(
+            "{:<10} {:<15} {:>6} {:>9} {:<14} {:>10}  ({})",
+            w.suite.name(),
+            w.name,
+            w.paper_races,
+            measured,
+            kinds_summary(&ig.sites),
+            bar_str,
+            paper_bar,
+        );
+        if measured != w.paper_races {
+            mismatches.push((w.name, w.paper_races, measured, ig.sites));
+        }
+    }
+    println!("{}", "-".repeat(90));
+    println!("TOTAL: paper {total_paper} races, measured {total_measured} races");
+    if !mismatches.is_empty() {
+        println!("\nmismatched workloads:");
+        for (name, paper, measured, sites) in &mismatches {
+            println!("  {name}: paper {paper}, measured {measured}");
+            for s in sites {
+                println!(
+                    "    [{}] pc {} kinds {:?} {}",
+                    s.kernel,
+                    s.pc,
+                    s.kinds.iter().map(|k| k.code()).collect::<Vec<_>>(),
+                    s.line.as_deref().unwrap_or("")
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Table 5**: the race-free applications. iGUARD (and
+//! Barracuda where it runs) must report zero races — the paper's
+//! no-false-positives claim.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table5
+//! ```
+
+use bench::{run_barracuda, run_iguard, BarracudaRun, DEFAULT_SEED};
+use iguard::IguardConfig;
+use workloads::Size;
+
+fn main() {
+    println!("Table 5: Applications without any reported races");
+    println!();
+    println!(
+        "{:<10} {:<15} {:>7} {:>10}",
+        "Suite", "Application", "iGUARD", "Barracuda"
+    );
+    println!("{}", "-".repeat(50));
+    let mut false_positives = 0;
+    for w in workloads::clean() {
+        let ig = run_iguard(&w, Size::Test, DEFAULT_SEED, IguardConfig::default());
+        let bar = run_barracuda(
+            &w,
+            Size::Test,
+            DEFAULT_SEED,
+            bench::barracuda_config_for(&w),
+        );
+        let bar_str = match &bar {
+            BarracudaRun::Unsupported(_) => "unsup".to_string(),
+            BarracudaRun::Ran { races, .. } => races.to_string(),
+        };
+        println!(
+            "{:<10} {:<15} {:>7} {:>10}",
+            w.suite.name(),
+            w.name,
+            ig.sites.len(),
+            bar_str
+        );
+        false_positives += ig.sites.len();
+        if let BarracudaRun::Ran { races, .. } = bar {
+            false_positives += races;
+        }
+    }
+    println!("{}", "-".repeat(50));
+    if false_positives == 0 {
+        println!(
+            "zero false positives across all {} race-free workloads ✓",
+            workloads::clean().len()
+        );
+    } else {
+        println!("!! {false_positives} FALSE POSITIVES — reproduction broken");
+        std::process::exit(1);
+    }
+}

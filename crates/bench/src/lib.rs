@@ -1,0 +1,273 @@
+//! # bench: the evaluation harness
+//!
+//! Shared infrastructure for regenerating every table and figure of the
+//! paper's evaluation (§7): run a workload natively, under iGUARD, or
+//! under Barracuda, and report simulated time, detected races, and
+//! detector statistics. Each table/figure has a dedicated binary
+//! (`table4`, `table5`, `fig11`, `fig12`, `fig13`, `fig14`,
+//! `fence_scope_cost`, `ablation_history`).
+
+#![forbid(unsafe_code)]
+
+use barracuda::{Barracuda, BarracudaConfig, BarracudaFailure, BinaryKind};
+use gpu_sim::hook::{ExecMode, NullHook};
+use gpu_sim::machine::{Gpu, GpuConfig};
+use gpu_sim::timing::{CostCategory, COST_CATEGORIES};
+use iguard::{Iguard, IguardConfig, RaceSite};
+use nvbit_sim::Instrumented;
+use workloads::{Size, Workload};
+
+/// Default schedule seed used by every harness (deterministic results).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// GPU configuration used across the evaluation (Table 3's Titan RTX).
+#[must_use]
+pub fn gpu_config(seed: u64) -> GpuConfig {
+    GpuConfig {
+        seed,
+        mode: ExecMode::Its,
+        max_steps: 80_000_000,
+        ..GpuConfig::default()
+    }
+}
+
+/// Outcome of one native (uninstrumented) run.
+#[derive(Debug, Clone)]
+pub struct NativeRun {
+    /// Simulated time (cycles, parallelism-adjusted).
+    pub time: f64,
+    /// Whether the watchdog killed the run.
+    pub timed_out: bool,
+}
+
+/// Runs `w` natively and returns its simulated time.
+#[must_use]
+pub fn run_native(w: &Workload, size: Size, seed: u64) -> NativeRun {
+    let mut gpu = Gpu::new(gpu_config(seed));
+    let launches = w.build(&mut gpu, size);
+    let mut timed_out = false;
+    for l in &launches {
+        match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook) {
+            Ok(_) => {}
+            Err(gpu_sim::error::SimError::Timeout { .. }) => timed_out = true,
+            Err(e) => panic!("{} failed natively: {e}", w.name),
+        }
+    }
+    NativeRun {
+        time: gpu.clock().total_time(),
+        timed_out,
+    }
+}
+
+/// Outcome of one iGUARD-instrumented run.
+#[derive(Debug)]
+pub struct IguardRun {
+    /// Simulated time with the detector attached.
+    pub time: f64,
+    /// Per-category times (Figure 13's breakdown), in `COST_CATEGORIES`
+    /// order.
+    pub breakdown: [f64; 6],
+    /// Distinct racing sites, the Table 4 unit.
+    pub sites: Vec<RaceSite>,
+    /// Detector counters.
+    pub stats: iguard::IguardStats,
+    /// UVM counters of the metadata region.
+    pub uvm: uvm_sim::UvmStats,
+    /// Whether the watchdog killed the run (races still reported).
+    pub timed_out: bool,
+}
+
+/// Runs `w` under iGUARD with the given detector configuration.
+#[must_use]
+pub fn run_iguard(w: &Workload, size: Size, seed: u64, cfg: IguardConfig) -> IguardRun {
+    let mut gpu = Gpu::new(gpu_config(seed));
+    let launches = w.build(&mut gpu, size);
+    let mut tool = Instrumented::new(Iguard::new(cfg));
+    let mut timed_out = false;
+    for l in &launches {
+        match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool) {
+            Ok(_) => {}
+            Err(gpu_sim::error::SimError::Timeout { .. }) => timed_out = true,
+            Err(e) => panic!("{} failed under iGUARD: {e}", w.name),
+        }
+    }
+    let mut breakdown = [0.0; 6];
+    for (i, &c) in COST_CATEGORIES.iter().enumerate() {
+        breakdown[i] = gpu.clock().time(c);
+    }
+    let time = gpu.clock().total_time();
+    let det = tool.tool_mut();
+    IguardRun {
+        time,
+        breakdown,
+        sites: det.race_sites(),
+        stats: det.stats(),
+        uvm: det.uvm_stats(),
+        timed_out,
+    }
+}
+
+/// Outcome of one Barracuda run.
+#[derive(Debug)]
+pub enum BarracudaRun {
+    /// The front end refused the binary.
+    Unsupported(barracuda::Unsupported),
+    /// The run completed (or failed mid-way).
+    Ran {
+        /// Simulated time with the baseline attached.
+        time: f64,
+        /// Races the CPU-side detector found (per-pc).
+        races: usize,
+        /// OOM / did-not-terminate, if any.
+        failure: Option<BarracudaFailure>,
+        /// Events shipped through the serialized channel.
+        events: u64,
+    },
+}
+
+/// Runs `w` under the Barracuda baseline.
+#[must_use]
+pub fn run_barracuda(w: &Workload, size: Size, seed: u64, cfg: BarracudaConfig) -> BarracudaRun {
+    let mut gpu = Gpu::new(gpu_config(seed));
+    let launches = w.build(&mut gpu, size);
+    let kind = if w.multi_file {
+        BinaryKind::MultiFile
+    } else {
+        BinaryKind::SingleFile
+    };
+    let kernels = Workload::kernels(&launches);
+    if let Err(u) = barracuda::supports(&kernels, kind) {
+        return BarracudaRun::Unsupported(u);
+    }
+    let mut tool = Instrumented::new(Barracuda::new(cfg));
+    for l in &launches {
+        match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool) {
+            Ok(_) | Err(gpu_sim::error::SimError::Timeout { .. }) => {}
+            Err(e) => panic!("{} failed under Barracuda: {e}", w.name),
+        }
+        if tool.tool().failure().is_some() {
+            break;
+        }
+    }
+    // CPU-side analysis happens at drain time; charge it to the clock.
+    let races = {
+        let (det, clock) = (&mut tool, &mut gpu);
+        det.tool_mut().finish(clock.clock_mut()).len()
+    };
+    let events = tool.tool().events_sent();
+    let failure = tool.tool().failure().cloned();
+    BarracudaRun::Ran {
+        time: gpu.clock().total_time(),
+        races,
+        failure,
+        events,
+    }
+}
+
+/// Barracuda configuration used by the harness: a fixed CPU-processing
+/// budget (serial cycles). Workloads whose event stream exceeds it are
+/// reported as non-terminating — in practice only `interac`'s
+/// transactional retry flood does, matching the paper.
+#[must_use]
+pub fn barracuda_config_for(_w: &Workload) -> BarracudaConfig {
+    // 25 000 records of CPU budget: every workload's stream fits except
+    // interac's transactional retry flood — the paper's non-termination.
+    BarracudaConfig {
+        timeout_serial_cycles: 660_000,
+        ..BarracudaConfig::default()
+    }
+}
+
+/// Convenience: iGUARD's overhead over native for one workload.
+#[must_use]
+pub fn iguard_overhead(w: &Workload, size: Size, seed: u64, cfg: IguardConfig) -> f64 {
+    let native = run_native(w, size, seed);
+    let ig = run_iguard(w, size, seed, cfg);
+    ig.time / native.time
+}
+
+/// Pretty one-line summary of detected kinds at a site list.
+#[must_use]
+pub fn kinds_summary(sites: &[RaceSite]) -> String {
+    use std::collections::BTreeSet;
+    let kinds: BTreeSet<&str> = sites
+        .iter()
+        .flat_map(|s| s.kinds.iter().map(|k| k.code()))
+        .collect();
+    kinds.into_iter().collect::<Vec<_>>().join(",")
+}
+
+/// Geometric mean helper used by the overhead figures.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// The Figure 13 category labels, in order.
+pub const BREAKDOWN_LABELS: [&str; 6] = [
+    "Native",
+    "NVBit",
+    "Setup",
+    "Instrumentation",
+    "Detection",
+    "Misc.",
+];
+
+/// Asserts the name maps into `COST_CATEGORIES` order (compile-time doc).
+#[must_use]
+pub fn category_label(c: CostCategory) -> &'static str {
+    match c {
+        CostCategory::Native => "Native",
+        CostCategory::Nvbit => "NVBit",
+        CostCategory::Setup => "Setup",
+        CostCategory::Instrumentation => "Instrumentation",
+        CostCategory::Detection => "Detection",
+        CostCategory::Misc => "Misc.",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_is_between_min_and_max() {
+        let g = geomean(&[1.0, 100.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn native_run_of_a_clean_workload() {
+        let w = workloads::by_name("b_reduce").unwrap();
+        let r = run_native(&w, Size::Test, DEFAULT_SEED);
+        assert!(r.time > 0.0);
+        assert!(!r.timed_out);
+    }
+
+    #[test]
+    fn iguard_run_reports_no_races_on_clean_workload() {
+        let w = workloads::by_name("b_reduce").unwrap();
+        let r = run_iguard(&w, Size::Test, DEFAULT_SEED, IguardConfig::default());
+        assert!(r.sites.is_empty(), "got {:?}", r.sites);
+        assert!(r.time > 0.0);
+    }
+
+    #[test]
+    fn barracuda_refuses_multi_file() {
+        let w = workloads::by_name("louvain").unwrap();
+        let r = run_barracuda(&w, Size::Test, DEFAULT_SEED, BarracudaConfig::default());
+        assert!(matches!(
+            r,
+            BarracudaRun::Unsupported(barracuda::Unsupported::MultiFilePtx)
+        ));
+    }
+}

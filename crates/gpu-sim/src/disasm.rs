@@ -1,0 +1,339 @@
+//! A SASS-style disassembler for kernel objects.
+//!
+//! Race reports reference instructions by pc; the disassembler renders the
+//! surrounding code the way `nvdisasm` would, so a report like
+//! "ITS race at pc 8" can be read in context:
+//!
+//! ```text
+//! /*0007*/  SETP.EQ  r4, r0, 0x0
+//! /*0008*/  LDG.E    r5, [r1+0x4]      // a[0] = a[1]
+//! /*0009*/  STG.E    [r1], r5
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::ir::{AluOp, AtomOp, CmpOp, Instr, Operand, Scope, Space, Special};
+use crate::kernel::Kernel;
+
+fn op(o: Operand) -> String {
+    match o {
+        Operand::Reg(r) => format!("r{}", r.0),
+        Operand::Imm(v) => format!("{:#x}", v),
+    }
+}
+
+fn alu_mnemonic(a: AluOp) -> &'static str {
+    match a {
+        AluOp::Add => "IADD",
+        AluOp::Sub => "ISUB",
+        AluOp::Mul => "IMUL",
+        AluOp::Div => "IDIV.U32",
+        AluOp::Rem => "IREM.U32",
+        AluOp::Min => "IMIN.U32",
+        AluOp::Max => "IMAX.U32",
+        AluOp::And => "LOP.AND",
+        AluOp::Or => "LOP.OR",
+        AluOp::Xor => "LOP.XOR",
+        AluOp::Shl => "SHL",
+        AluOp::Shr => "SHR.U32",
+    }
+}
+
+fn cmp_mnemonic(c: CmpOp) -> &'static str {
+    match c {
+        CmpOp::Eq => "SETP.EQ",
+        CmpOp::Ne => "SETP.NE",
+        CmpOp::Lt => "SETP.LT.U32",
+        CmpOp::Le => "SETP.LE.U32",
+        CmpOp::Gt => "SETP.GT.U32",
+        CmpOp::Ge => "SETP.GE.U32",
+        CmpOp::SLt => "SETP.LT.S32",
+        CmpOp::SGt => "SETP.GT.S32",
+    }
+}
+
+fn special_name(s: Special) -> &'static str {
+    match s {
+        Special::Tid => "%tid.x",
+        Special::BlockId => "%ctaid.x",
+        Special::BlockDim => "%ntid.x",
+        Special::GridDim => "%nctaid.x",
+        Special::LaneId => "%laneid",
+        Special::WarpInBlock => "%warpid",
+        Special::GlobalWarpId => "%gwarpid",
+        Special::GlobalTid => "%gtid",
+        Special::ActiveMask => "%activemask",
+    }
+}
+
+fn atom_mnemonic(a: AtomOp, scope: Scope) -> String {
+    let base = match a {
+        AtomOp::Add => "ATOM.ADD",
+        AtomOp::Exch => "ATOM.EXCH",
+        AtomOp::Cas => "ATOM.CAS",
+        AtomOp::Min => "ATOM.MIN.U32",
+        AtomOp::Max => "ATOM.MAX.U32",
+        AtomOp::Or => "ATOM.OR",
+        AtomOp::And => "ATOM.AND",
+    };
+    match scope {
+        Scope::Block => format!("{base}.CTA"),
+        Scope::Device => format!("{base}.GPU"),
+    }
+}
+
+/// Renders one instruction in SASS-ish syntax (without pc or annotation).
+#[must_use]
+pub fn render_instr(i: &Instr) -> String {
+    match *i {
+        Instr::Mov { rd, src } => format!("MOV      r{}, {}", rd.0, op(src)),
+        Instr::Read { rd, sp } => format!("S2R      r{}, {}", rd.0, special_name(sp)),
+        Instr::Param { rd, idx } => format!("LDC      r{}, c[0x0][{idx}]", rd.0),
+        Instr::Alu { op: a, rd, ra, b } => {
+            format!("{:<8} r{}, r{}, {}", alu_mnemonic(a), rd.0, ra.0, op(b))
+        }
+        Instr::Setp { op: c, rd, ra, b } => {
+            format!("{:<8} r{}, r{}, {}", cmp_mnemonic(c), rd.0, ra.0, op(b))
+        }
+        Instr::Sel { rd, cond, a, b } => {
+            format!("SEL      r{}, r{}, {}, {}", rd.0, cond.0, op(a), op(b))
+        }
+        Instr::Bra { target } => format!("BRA      {target:#06x}"),
+        Instr::BraIf { cond, target } => format!("@r{}  BRA {target:#06x}", cond.0),
+        Instr::BraIfNot { cond, target } => format!("@!r{} BRA {target:#06x}", cond.0),
+        Instr::Ld {
+            rd,
+            addr,
+            offset,
+            space,
+            volatile,
+        } => {
+            let m = match (space, volatile) {
+                (Space::Global, false) => "LDG.E",
+                (Space::Global, true) => "LDG.E.VOLATILE",
+                (Space::Shared, _) => "LDS",
+            };
+            format!("{:<8} r{}, [r{}{:+#x}]", m, rd.0, addr.0, offset)
+        }
+        Instr::St {
+            addr,
+            offset,
+            val,
+            space,
+            volatile,
+        } => {
+            let m = match (space, volatile) {
+                (Space::Global, false) => "STG.E",
+                (Space::Global, true) => "STG.E.VOLATILE",
+                (Space::Shared, _) => "STS",
+            };
+            format!("{:<8} [r{}{:+#x}], r{}", m, addr.0, offset, val.0)
+        }
+        Instr::Atom {
+            op: a,
+            scope,
+            rd,
+            addr,
+            offset,
+            src,
+            cmp,
+        } => {
+            let m = atom_mnemonic(a, scope);
+            if a == AtomOp::Cas {
+                format!(
+                    "{:<8} r{}, [r{}{:+#x}], r{}, r{}",
+                    m, rd.0, addr.0, offset, cmp.0, src.0
+                )
+            } else {
+                format!(
+                    "{:<8} r{}, [r{}{:+#x}], r{}",
+                    m, rd.0, addr.0, offset, src.0
+                )
+            }
+        }
+        Instr::Membar { scope } => match scope {
+            Scope::Block => "MEMBAR.CTA".to_string(),
+            Scope::Device => "MEMBAR.GPU".to_string(),
+        },
+        Instr::BarSync => "BAR.SYNC 0x0".to_string(),
+        Instr::BarWarp => "WARPSYNC 0xffffffff".to_string(),
+        Instr::Exit => "EXIT".to_string(),
+        Instr::Nop => "NOP".to_string(),
+    }
+}
+
+/// Disassembles a whole kernel, one line per instruction, with the debug
+/// annotation (if any) as a trailing comment.
+#[must_use]
+pub fn disassemble(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        ".kernel {}  // {} instructions",
+        kernel.name,
+        kernel.code.len()
+    );
+    for (pc, instr) in kernel.code.iter().enumerate() {
+        let _ = write!(out, "/*{pc:04x}*/  {:<44}", render_instr(instr));
+        if let Some(line) = kernel.line(pc) {
+            let _ = write!(out, "// {line}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a window of `radius` instructions around `pc`, marking it —
+/// what a race report's "show me the code" affordance prints.
+#[must_use]
+pub fn context(kernel: &Kernel, pc: usize, radius: usize) -> String {
+    let lo = pc.saturating_sub(radius);
+    let hi = (pc + radius + 1).min(kernel.code.len());
+    let mut out = String::new();
+    for i in lo..hi {
+        let marker = if i == pc { ">>" } else { "  " };
+        let _ = write!(
+            out,
+            "{marker} /*{i:04x}*/  {:<44}",
+            render_instr(&kernel.code[i])
+        );
+        if let Some(line) = kernel.line(i) {
+            let _ = write!(out, "// {line}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::KernelBuilder;
+    use crate::ir::{Reg, Scope};
+
+    fn sample() -> Kernel {
+        let mut b = KernelBuilder::new("sample");
+        let tid = b.special(Special::Tid);
+        let base = b.param(0);
+        let off = b.mul(tid, 4u32);
+        let a = b.add(base, off);
+        b.loc("the racy store");
+        b.st(a, 0, tid);
+        let one = b.imm(1);
+        let _ = b.atomic_cas(Scope::Device, base, 0, one, one);
+        b.membar(Scope::Block);
+        b.syncthreads();
+        b.syncwarp();
+        b.build()
+    }
+
+    #[test]
+    fn disassembly_covers_every_instruction() {
+        let k = sample();
+        let d = disassemble(&k);
+        assert_eq!(
+            d.lines().count(),
+            k.code.len() + 1,
+            "header + one line per instr"
+        );
+        assert!(d.contains("S2R"));
+        assert!(d.contains("STG.E"));
+        assert!(d.contains("ATOM.CAS.GPU"));
+        assert!(d.contains("MEMBAR.CTA"));
+        assert!(d.contains("BAR.SYNC"));
+        assert!(d.contains("WARPSYNC"));
+        assert!(d.contains("EXIT"));
+    }
+
+    #[test]
+    fn annotations_appear_as_comments() {
+        let d = disassemble(&sample());
+        assert!(d.contains("// the racy store"));
+    }
+
+    #[test]
+    fn context_marks_the_pc() {
+        let k = sample();
+        let c = context(&k, 4, 1);
+        assert_eq!(c.lines().count(), 3);
+        assert!(c.lines().nth(1).unwrap().starts_with(">>"));
+    }
+
+    #[test]
+    fn context_clamps_at_boundaries() {
+        let k = sample();
+        let c = context(&k, 0, 3);
+        assert!(c.lines().next().unwrap().starts_with(">>"));
+        let end = k.code.len() - 1;
+        let c = context(&k, end, 3);
+        assert!(c.lines().last().unwrap().starts_with(">>"));
+    }
+
+    #[test]
+    fn every_opcode_renders() {
+        use crate::ir::{AluOp, AtomOp, CmpOp, Instr, Operand, Space};
+        let r = Reg(1);
+        let instrs = vec![
+            Instr::Mov {
+                rd: r,
+                src: Operand::Imm(3),
+            },
+            Instr::Read {
+                rd: r,
+                sp: Special::ActiveMask,
+            },
+            Instr::Param { rd: r, idx: 2 },
+            Instr::Alu {
+                op: AluOp::Xor,
+                rd: r,
+                ra: r,
+                b: Operand::Reg(r),
+            },
+            Instr::Setp {
+                op: CmpOp::SLt,
+                rd: r,
+                ra: r,
+                b: Operand::Imm(0),
+            },
+            Instr::Sel {
+                rd: r,
+                cond: r,
+                a: Operand::Imm(1),
+                b: Operand::Imm(2),
+            },
+            Instr::Bra { target: 0 },
+            Instr::BraIf { cond: r, target: 0 },
+            Instr::BraIfNot { cond: r, target: 0 },
+            Instr::Ld {
+                rd: r,
+                addr: r,
+                offset: 4,
+                space: Space::Shared,
+                volatile: false,
+            },
+            Instr::St {
+                addr: r,
+                offset: -4,
+                val: r,
+                space: Space::Global,
+                volatile: true,
+            },
+            Instr::Atom {
+                op: AtomOp::Min,
+                scope: Scope::Block,
+                rd: r,
+                addr: r,
+                offset: 0,
+                src: r,
+                cmp: r,
+            },
+            Instr::Membar {
+                scope: Scope::Device,
+            },
+            Instr::Nop,
+        ];
+        for i in instrs {
+            assert!(!render_instr(&i).is_empty());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Loaded kernel objects.
+//!
+//! A [`Kernel`] is the simulator's analogue of a SASS function inside a CUDA
+//! binary: a flat instruction array plus optional debug annotations. The
+//! instrumentation layer attaches to `Kernel`s after they are "loaded",
+//! without access to or recompilation of their source — the same contract
+//! NVBit has with real binaries.
+
+use crate::ir::Instr;
+
+/// A kernel ready to be launched on the simulated GPU.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Human-readable kernel name (mangled name analogue).
+    pub name: String,
+    /// Flat instruction stream; branch targets index into this array.
+    pub code: Vec<Instr>,
+    /// Words of `__shared__` scratchpad each block needs.
+    pub shared_words: usize,
+    /// Optional per-instruction source annotation ("line info"); present when
+    /// the workload was "compiled with debug info". Race reports quote it.
+    pub lines: Vec<Option<String>>,
+}
+
+impl Kernel {
+    /// Creates a kernel from a raw instruction stream with no debug info.
+    ///
+    /// # Panics
+    /// Panics if `code` is empty or if any branch target is out of bounds —
+    /// a malformed binary is a programming error in the workload, not a
+    /// runtime condition.
+    #[must_use]
+    pub fn new(name: impl Into<String>, code: Vec<Instr>, shared_words: usize) -> Self {
+        let lines = vec![None; code.len()];
+        let k = Kernel {
+            name: name.into(),
+            code,
+            shared_words,
+            lines,
+        };
+        k.validate();
+        k
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.code.is_empty(),
+            "kernel `{}` has no instructions",
+            self.name
+        );
+        for (pc, instr) in self.code.iter().enumerate() {
+            let target = match instr {
+                Instr::Bra { target }
+                | Instr::BraIf { target, .. }
+                | Instr::BraIfNot { target, .. } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                assert!(
+                    t < self.code.len(),
+                    "kernel `{}`: branch at pc {pc} targets {t}, beyond {} instructions",
+                    self.name,
+                    self.code.len()
+                );
+            }
+        }
+    }
+
+    /// The source annotation for `pc`, if debug info is present.
+    #[must_use]
+    pub fn line(&self, pc: usize) -> Option<&str> {
+        self.lines.get(pc).and_then(|l| l.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Instr;
+
+    #[test]
+    fn kernel_validates_branch_targets() {
+        let k = Kernel::new("ok", vec![Instr::Bra { target: 1 }, Instr::Exit], 0);
+        assert_eq!(k.code.len(), 2);
+        assert_eq!(k.line(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets 9")]
+    fn kernel_rejects_wild_branch() {
+        let _ = Kernel::new("bad", vec![Instr::Bra { target: 9 }, Instr::Exit], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no instructions")]
+    fn kernel_rejects_empty_code() {
+        let _ = Kernel::new("empty", vec![], 0);
+    }
+}

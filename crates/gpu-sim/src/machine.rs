@@ -1,0 +1,999 @@
+//! The simulated GPU device: allocation, launch, scheduling, execution.
+//!
+//! # Execution model
+//!
+//! A launch creates `grid_dim` blocks of `block_dim` threads; blocks are
+//! assigned round-robin to SMs and are all resident (cooperative-launch
+//! style), so grid-wide spin synchronization — the pattern behind the
+//! paper's CG workloads — can make progress. Threads are grouped into
+//! 32-lane warps. The scheduler repeatedly picks a warp (fair round-robin
+//! across every warp in the grid) and executes **one instruction for one
+//! warp split**: the subset of the warp's runnable lanes sharing a PC.
+//!
+//! - **Lockstep mode** (pre-Volta): the split at the *minimum* PC runs,
+//!   which makes diverged lanes reconverge eagerly — the classic SIMT
+//!   behaviour with its implicit per-instruction warp barrier.
+//! - **ITS mode** (Volta+ Independent Thread Scheduling): a *random* split
+//!   runs (seeded, deterministic), and with small probability a split is
+//!   further subdivided — converged threads are never guaranteed to stay
+//!   converged, exactly the guarantee NVIDIA dropped with ITS. This is what
+//!   lets missing-`syncwarp` races manifest as observably wrong values.
+//!
+//! Fairness of the round-robin guarantees that spin-wait loops cannot
+//! starve their producer; true livelocks (e.g. per-thread locks under
+//! lockstep, §6.6) hit the step watchdog and report [`SimError::Timeout`].
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::SimError;
+use crate::hook::{AccessKind, ExecMode, Hook, LaneAccess, LaunchInfo, MemAccess, SyncEvent};
+use crate::ir::{AluOp, CmpOp, Instr, Operand, Reg, Space, Special, NUM_REGS, WARP_SIZE};
+use crate::kernel::Kernel;
+use crate::mem::GlobalMem;
+use crate::timing::{Clock, CostCategory, CostModel};
+
+/// Static configuration of the simulated device.
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors (Titan RTX: 72).
+    pub num_sms: usize,
+    /// Words of real backing storage for global memory.
+    pub mem_words: usize,
+    /// Logical device-memory capacity in bytes, for allocation accounting
+    /// (Titan RTX: 24 GB). Allocations may declare a logical size larger
+    /// than their backing storage so footprint-scaling experiments
+    /// (Figure 14) can model tens of GB without hosting them.
+    pub device_mem_bytes: u64,
+    /// Scheduler-step watchdog; exceeded ⇒ [`SimError::Timeout`].
+    pub max_steps: u64,
+    /// Lockstep (pre-Volta) or ITS (Volta+) warp scheduling.
+    pub mode: ExecMode,
+    /// Seed for the ITS interleaving choices.
+    pub seed: u64,
+    /// Probability that ITS subdivides a converged split (schedule fuzzing).
+    pub its_split_prob: f64,
+    /// Warp-scheduler slots per SM; bounds effective parallelism.
+    pub warp_slots_per_sm: usize,
+    /// Instruction cost table.
+    pub cost: CostModel,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            num_sms: 72,
+            mem_words: 1 << 22, // 16 MiB backing
+            device_mem_bytes: 24 * (1 << 30),
+            max_steps: 50_000_000,
+            mode: ExecMode::Its,
+            seed: 0x16_0A2D,
+            its_split_prob: 0.02,
+            warp_slots_per_sm: 4,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// One device allocation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Base byte address.
+    pub addr: u32,
+    /// Backing words.
+    pub words: usize,
+    /// Logical size charged against device capacity.
+    pub logical_bytes: u64,
+}
+
+/// Summary of a completed launch.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchStats {
+    /// Scheduler steps (warp-split executions).
+    pub steps: u64,
+    /// Dynamic instructions (one per split execution).
+    pub dyn_instrs: u64,
+    /// Dynamic lane-instructions (instructions × participating lanes).
+    pub lane_instrs: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    AtBlockBar,
+    AtWarpBar,
+    Exited,
+}
+
+#[derive(Debug)]
+struct Thread {
+    regs: Vec<u32>,
+    pc: usize,
+    status: Status,
+}
+
+impl Thread {
+    fn new() -> Self {
+        Thread {
+            regs: vec![0; NUM_REGS],
+            pc: 0,
+            status: Status::Ready,
+        }
+    }
+
+    fn get(&self, r: Reg) -> u32 {
+        self.regs[r.0 as usize]
+    }
+
+    fn set(&mut self, r: Reg, v: u32) {
+        self.regs[r.0 as usize] = v;
+    }
+
+    fn operand(&self, o: Operand) -> u32 {
+        match o {
+            Operand::Reg(r) => self.get(r),
+            Operand::Imm(v) => v,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Block {
+    id: u32,
+    sm: usize,
+    shared: Vec<u32>,
+    threads: Vec<Thread>,
+}
+
+/// The simulated GPU.
+pub struct Gpu {
+    cfg: GpuConfig,
+    mem: GlobalMem,
+    clock: Clock,
+    allocs: Vec<Allocation>,
+    bump_word: usize,
+    logical_allocated: u64,
+}
+
+impl Gpu {
+    /// Creates a device with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if `mem_words` exceeds the simulator's 32-bit byte address
+    /// space (2^30 words): buffer addresses are `u32` byte addresses, so a
+    /// larger backing store would silently wrap.
+    #[must_use]
+    pub fn new(cfg: GpuConfig) -> Self {
+        assert!(
+            cfg.mem_words <= 1 << 30,
+            "mem_words {} exceeds the 32-bit simulated address space",
+            cfg.mem_words
+        );
+        let mem = GlobalMem::new(cfg.mem_words, cfg.num_sms);
+        Gpu {
+            cfg,
+            mem,
+            clock: Clock::new(),
+            allocs: Vec::new(),
+            // Reserve the first words so address 0 stays "null".
+            bump_word: 16,
+            logical_allocated: 64,
+        }
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The cycle accounting for this device.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Mutable cycle accounting (benchmark harnesses reset between runs).
+    pub fn clock_mut(&mut self) -> &mut Clock {
+        &mut self.clock
+    }
+
+    /// Allocates `words` of global memory (logical size = backing size).
+    ///
+    /// Returns the base byte address (`cudaMalloc` analogue).
+    pub fn alloc(&mut self, words: usize) -> Result<u32, SimError> {
+        self.alloc_logical(words, words as u64 * 4)
+    }
+
+    /// Allocates `words` of backing storage while charging `logical_bytes`
+    /// against device capacity. Used by footprint-scaling experiments to
+    /// model multi-GB buffers with small backing arrays.
+    pub fn alloc_logical(&mut self, words: usize, logical_bytes: u64) -> Result<u32, SimError> {
+        if self.bump_word + words > self.mem.words() {
+            return Err(SimError::OutOfMemory {
+                requested: words as u64 * 4,
+                available: (self.mem.words() - self.bump_word) as u64 * 4,
+            });
+        }
+        if self.logical_allocated + logical_bytes > self.cfg.device_mem_bytes {
+            return Err(SimError::OutOfMemory {
+                requested: logical_bytes,
+                available: self.cfg.device_mem_bytes - self.logical_allocated,
+            });
+        }
+        let addr = (self.bump_word * 4) as u32;
+        self.allocs.push(Allocation {
+            addr,
+            words,
+            logical_bytes,
+        });
+        self.bump_word += words;
+        self.logical_allocated += logical_bytes;
+        Ok(addr)
+    }
+
+    /// Logical device bytes not claimed by any allocation.
+    #[must_use]
+    pub fn free_device_bytes(&self) -> u64 {
+        self.cfg.device_mem_bytes - self.logical_allocated
+    }
+
+    /// Logical bytes currently allocated.
+    #[must_use]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.logical_allocated
+    }
+
+    /// Host write of word `idx` of the buffer at `base`.
+    pub fn write(&mut self, base: u32, idx: usize, value: u32) {
+        self.mem.write_coherent(base + (idx * 4) as u32, value);
+    }
+
+    /// Host read of word `idx` of the buffer at `base` (coherent view).
+    #[must_use]
+    pub fn read(&self, base: u32, idx: usize) -> u32 {
+        self.mem.read_coherent(base + (idx * 4) as u32)
+    }
+
+    /// Fills `idx..idx+data.len()` of the buffer at `base`.
+    pub fn write_slice(&mut self, base: u32, data: &[u32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write(base, i, v);
+        }
+    }
+
+    /// Reads `len` words starting at the buffer at `base`.
+    #[must_use]
+    pub fn read_slice(&self, base: u32, len: usize) -> Vec<u32> {
+        (0..len).map(|i| self.read(base, i)).collect()
+    }
+
+    /// Launches `kernel` on a 1-D grid with an attached tool, running it to
+    /// completion (or fault/timeout).
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        grid_dim: u32,
+        block_dim: u32,
+        params: &[u32],
+        hook: &mut dyn Hook,
+    ) -> Result<LaunchStats, SimError> {
+        if block_dim == 0 || block_dim > 1024 {
+            return Err(SimError::BadLaunch {
+                reason: format!("block_dim {block_dim} outside 1..=1024"),
+            });
+        }
+        if grid_dim == 0 {
+            return Err(SimError::BadLaunch {
+                reason: "grid_dim is 0".into(),
+            });
+        }
+        if params.len() > 16 {
+            return Err(SimError::BadLaunch {
+                reason: "more than 16 params".into(),
+            });
+        }
+
+        let warps_per_block = block_dim.div_ceil(WARP_SIZE as u32);
+        let total_threads = grid_dim * block_dim;
+        let total_warps = grid_dim * warps_per_block;
+        let info = LaunchInfo {
+            kernel_name: kernel.name.clone(),
+            grid_dim,
+            block_dim,
+            warps_per_block,
+            total_threads,
+            total_warps,
+            mode: self.cfg.mode,
+            num_sms: self.cfg.num_sms as u32,
+            free_device_bytes: self.free_device_bytes(),
+            app_footprint_bytes: self.logical_allocated,
+            device_capacity_bytes: self.cfg.device_mem_bytes,
+            backing_words: self.mem.words(),
+            code_len: kernel.code.len(),
+        };
+
+        let eff = (total_warps as usize).min(self.cfg.num_sms * self.cfg.warp_slots_per_sm);
+        self.clock.set_parallelism(eff.max(1) as f64);
+        hook.on_kernel_launch(&info, &mut self.clock);
+
+        let mut blocks: Vec<Block> = (0..grid_dim)
+            .map(|b| Block {
+                id: b,
+                sm: (b as usize) % self.cfg.num_sms,
+                shared: vec![0; kernel.shared_words],
+                threads: (0..block_dim).map(|_| Thread::new()).collect(),
+            })
+            .collect();
+
+        let mut rng =
+            SmallRng::seed_from_u64(self.cfg.seed ^ ((grid_dim as u64) << 32) ^ block_dim as u64);
+        let mut run = RunState {
+            kernel,
+            params,
+            warps_per_block,
+            block_dim,
+            grid_dim,
+            stats: LaunchStats::default(),
+            live: total_threads as u64,
+        };
+
+        // Flattened (block, warp) schedule order.
+        let warp_list: Vec<(usize, usize)> = (0..grid_dim as usize)
+            .flat_map(|b| (0..warps_per_block as usize).map(move |w| (b, w)))
+            .collect();
+        let mut cursor = 0usize;
+
+        while run.live > 0 {
+            run.stats.steps += 1;
+            if run.stats.steps > self.cfg.max_steps {
+                // Publish what executed so detectors can still report.
+                self.mem.flush_all();
+                return Err(SimError::Timeout {
+                    steps: run.stats.steps,
+                });
+            }
+            // Find the next warp with a runnable split.
+            let mut executed = false;
+            for scan in 0..warp_list.len() {
+                let (bi, wi) = warp_list[(cursor + scan) % warp_list.len()];
+                if let Some(lanes) = pick_split(
+                    &blocks[bi],
+                    wi,
+                    self.cfg.mode,
+                    self.cfg.its_split_prob,
+                    &mut rng,
+                ) {
+                    cursor = (cursor + scan + 1) % warp_list.len();
+                    self.exec_split(&mut blocks, bi, wi, &lanes, &mut run, hook)?;
+                    executed = true;
+                    break;
+                }
+            }
+            if !executed {
+                return Err(SimError::Deadlock {
+                    kernel: kernel.name.clone(),
+                });
+            }
+        }
+
+        // Implicit device-wide barrier at grid completion (§2.1).
+        self.mem.flush_all();
+        hook.on_kernel_end(&info, &mut self.clock);
+        Ok(run.stats)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_split(
+        &mut self,
+        blocks: &mut [Block],
+        bi: usize,
+        wi: usize,
+        lanes: &[usize],
+        run: &mut RunState<'_>,
+        hook: &mut dyn Hook,
+    ) -> Result<(), SimError> {
+        let kernel = run.kernel;
+        let block_id = blocks[bi].id;
+        let sm = blocks[bi].sm;
+        let warp_base = wi * WARP_SIZE;
+        let pc = blocks[bi].threads[warp_base + lanes[0]].pc;
+        let instr = kernel.code[pc];
+        let active_mask: u32 = lanes.iter().fold(0u32, |m, &l| m | (1 << l));
+        let global_warp = block_id * run.warps_per_block + wi as u32;
+        let cost = &self.cfg.cost;
+
+        run.stats.dyn_instrs += 1;
+        run.stats.lane_instrs += lanes.len() as u64;
+
+        macro_rules! thread {
+            ($lane:expr) => {
+                blocks[bi].threads[warp_base + $lane]
+            };
+        }
+
+        match instr {
+            Instr::Mov { rd, src } => {
+                self.clock.charge(CostCategory::Native, cost.alu);
+                for &l in lanes {
+                    let v = thread!(l).operand(src);
+                    let t = &mut thread!(l);
+                    t.set(rd, v);
+                    t.pc = pc + 1;
+                }
+            }
+            Instr::Read { rd, sp } => {
+                self.clock.charge(CostCategory::Native, cost.alu);
+                for &l in lanes {
+                    let tid = (warp_base + l) as u32;
+                    let v = match sp {
+                        Special::Tid => tid,
+                        Special::BlockId => block_id,
+                        Special::BlockDim => run.block_dim,
+                        Special::GridDim => run.grid_dim,
+                        Special::LaneId => l as u32,
+                        Special::WarpInBlock => wi as u32,
+                        Special::GlobalWarpId => global_warp,
+                        Special::GlobalTid => block_id * run.block_dim + tid,
+                        Special::ActiveMask => active_mask,
+                    };
+                    let t = &mut thread!(l);
+                    t.set(rd, v);
+                    t.pc = pc + 1;
+                }
+            }
+            Instr::Param { rd, idx } => {
+                self.clock.charge(CostCategory::Native, cost.alu);
+                let v = *run
+                    .params
+                    .get(idx as usize)
+                    .ok_or_else(|| SimError::BadLaunch {
+                        reason: format!("kernel `{}` reads missing param {idx}", kernel.name),
+                    })?;
+                for &l in lanes {
+                    let t = &mut thread!(l);
+                    t.set(rd, v);
+                    t.pc = pc + 1;
+                }
+            }
+            Instr::Alu { op, rd, ra, b } => {
+                self.clock.charge(CostCategory::Native, cost.alu);
+                for &l in lanes {
+                    let (a, bv) = {
+                        let t = &thread!(l);
+                        (t.get(ra), t.operand(b))
+                    };
+                    let v = eval_alu(op, a, bv).ok_or_else(|| SimError::DivideByZero {
+                        kernel: kernel.name.clone(),
+                        pc,
+                    })?;
+                    let t = &mut thread!(l);
+                    t.set(rd, v);
+                    t.pc = pc + 1;
+                }
+            }
+            Instr::Setp { op, rd, ra, b } => {
+                self.clock.charge(CostCategory::Native, cost.alu);
+                for &l in lanes {
+                    let (a, bv) = {
+                        let t = &thread!(l);
+                        (t.get(ra), t.operand(b))
+                    };
+                    let v = u32::from(eval_cmp(op, a, bv));
+                    let t = &mut thread!(l);
+                    t.set(rd, v);
+                    t.pc = pc + 1;
+                }
+            }
+            Instr::Sel { rd, cond, a, b } => {
+                self.clock.charge(CostCategory::Native, cost.alu);
+                for &l in lanes {
+                    let v = {
+                        let t = &thread!(l);
+                        if t.get(cond) != 0 {
+                            t.operand(a)
+                        } else {
+                            t.operand(b)
+                        }
+                    };
+                    let t = &mut thread!(l);
+                    t.set(rd, v);
+                    t.pc = pc + 1;
+                }
+            }
+            Instr::Bra { target } => {
+                self.clock.charge(CostCategory::Native, cost.branch);
+                for &l in lanes {
+                    thread!(l).pc = target;
+                }
+            }
+            Instr::BraIf { cond, target } => {
+                self.clock.charge(CostCategory::Native, cost.branch);
+                for &l in lanes {
+                    let taken = thread!(l).get(cond) != 0;
+                    thread!(l).pc = if taken { target } else { pc + 1 };
+                }
+            }
+            Instr::BraIfNot { cond, target } => {
+                self.clock.charge(CostCategory::Native, cost.branch);
+                for &l in lanes {
+                    let taken = thread!(l).get(cond) == 0;
+                    thread!(l).pc = if taken { target } else { pc + 1 };
+                }
+            }
+            Instr::Ld {
+                rd,
+                addr,
+                offset,
+                space,
+                volatile,
+            } => match space {
+                Space::Shared => {
+                    self.clock.charge(CostCategory::Native, cost.ld_shared);
+                    let accesses = gather_lanes(&blocks[bi], warp_base, lanes, addr, offset);
+                    self.fire_mem_hook(
+                        kernel,
+                        pc,
+                        AccessKind::Load,
+                        Space::Shared,
+                        block_id,
+                        wi as u32,
+                        global_warp,
+                        active_mask,
+                        &accesses,
+                        run,
+                        sm,
+                        volatile,
+                        hook,
+                    );
+                    for &l in lanes {
+                        let a = effective_addr(thread!(l).get(addr), offset);
+                        let v = load_shared(&blocks[bi].shared, a)?;
+                        let t = &mut thread!(l);
+                        t.set(rd, v);
+                        t.pc = pc + 1;
+                    }
+                }
+                Space::Global => {
+                    self.clock.charge(CostCategory::Native, cost.ld_global);
+                    let accesses = gather_lanes(&blocks[bi], warp_base, lanes, addr, offset);
+                    self.fire_mem_hook(
+                        kernel,
+                        pc,
+                        AccessKind::Load,
+                        Space::Global,
+                        block_id,
+                        wi as u32,
+                        global_warp,
+                        active_mask,
+                        &accesses,
+                        run,
+                        sm,
+                        volatile,
+                        hook,
+                    );
+                    for (i, &l) in lanes.iter().enumerate() {
+                        let v = self.mem.load(sm, accesses[i].addr, volatile)?;
+                        let t = &mut thread!(l);
+                        t.set(rd, v);
+                        t.pc = pc + 1;
+                    }
+                }
+            },
+            Instr::St {
+                addr,
+                offset,
+                val,
+                space,
+                volatile,
+            } => match space {
+                Space::Shared => {
+                    self.clock.charge(CostCategory::Native, cost.st_shared);
+                    let accesses = gather_lanes(&blocks[bi], warp_base, lanes, addr, offset);
+                    self.fire_mem_hook(
+                        kernel,
+                        pc,
+                        AccessKind::Store,
+                        Space::Shared,
+                        block_id,
+                        wi as u32,
+                        global_warp,
+                        active_mask,
+                        &accesses,
+                        run,
+                        sm,
+                        volatile,
+                        hook,
+                    );
+                    for &l in lanes {
+                        let (a, v) = {
+                            let t = &thread!(l);
+                            (effective_addr(t.get(addr), offset), t.get(val))
+                        };
+                        store_shared(&mut blocks[bi].shared, a, v)?;
+                        thread!(l).pc = pc + 1;
+                    }
+                }
+                Space::Global => {
+                    self.clock.charge(CostCategory::Native, cost.st_global);
+                    let accesses = gather_lanes(&blocks[bi], warp_base, lanes, addr, offset);
+                    self.fire_mem_hook(
+                        kernel,
+                        pc,
+                        AccessKind::Store,
+                        Space::Global,
+                        block_id,
+                        wi as u32,
+                        global_warp,
+                        active_mask,
+                        &accesses,
+                        run,
+                        sm,
+                        volatile,
+                        hook,
+                    );
+                    for (i, &l) in lanes.iter().enumerate() {
+                        let v = thread!(l).get(val);
+                        self.mem.store(sm, accesses[i].addr, v, volatile)?;
+                        thread!(l).pc = pc + 1;
+                    }
+                }
+            },
+            Instr::Atom {
+                op,
+                scope,
+                rd,
+                addr,
+                offset,
+                src,
+                cmp,
+            } => {
+                let per_lane = match scope {
+                    crate::ir::Scope::Block => cost.atom_block,
+                    crate::ir::Scope::Device => cost.atom_device,
+                };
+                // Conflicting atomics serialize on hardware; charge per lane,
+                // plus a small critical-path component (the L2 ROP / SM
+                // atomic unit processes RMWs to a line one at a time).
+                self.clock
+                    .charge(CostCategory::Native, per_lane * lanes.len() as u64);
+                let serial_per_lane = match scope {
+                    crate::ir::Scope::Block => 1,
+                    crate::ir::Scope::Device => 2,
+                };
+                self.clock
+                    .charge_serial(CostCategory::Native, serial_per_lane * lanes.len() as u64);
+                let accesses = gather_lanes(&blocks[bi], warp_base, lanes, addr, offset);
+                self.fire_mem_hook(
+                    kernel,
+                    pc,
+                    AccessKind::Atomic { op, scope },
+                    Space::Global,
+                    block_id,
+                    wi as u32,
+                    global_warp,
+                    active_mask,
+                    &accesses,
+                    run,
+                    sm,
+                    false,
+                    hook,
+                );
+                for (i, &l) in lanes.iter().enumerate() {
+                    let (s, c) = {
+                        let t = &thread!(l);
+                        (t.get(src), t.get(cmp))
+                    };
+                    let old = self.mem.atomic(sm, accesses[i].addr, op, s, c, scope)?;
+                    let t = &mut thread!(l);
+                    t.set(rd, old);
+                    t.pc = pc + 1;
+                }
+            }
+            Instr::Membar { scope } => {
+                let c = match scope {
+                    crate::ir::Scope::Block => cost.membar_block,
+                    crate::ir::Scope::Device => cost.membar_device,
+                };
+                self.clock.charge(CostCategory::Native, c);
+                self.mem.fence(sm, scope);
+                let tids: Vec<(u32, u32)> = lanes
+                    .iter()
+                    .map(|&l| (l as u32, (warp_base + l) as u32))
+                    .collect();
+                hook.on_sync(
+                    &SyncEvent::Fence {
+                        scope,
+                        block_id,
+                        global_warp,
+                        tids: &tids,
+                        active_mask,
+                        pc,
+                        step: run.stats.steps,
+                    },
+                    &mut self.clock,
+                );
+                for &l in lanes {
+                    thread!(l).pc = pc + 1;
+                }
+            }
+            Instr::BarSync => {
+                self.clock.charge(CostCategory::Native, cost.bar_sync);
+                for &l in lanes {
+                    let t = &mut thread!(l);
+                    t.status = Status::AtBlockBar;
+                    t.pc = pc + 1;
+                }
+                if release_block_barrier(&mut blocks[bi]) {
+                    hook.on_sync(&SyncEvent::BlockBarrier { block_id }, &mut self.clock);
+                }
+            }
+            Instr::BarWarp => {
+                self.clock.charge(CostCategory::Native, cost.bar_warp);
+                for &l in lanes {
+                    let t = &mut thread!(l);
+                    t.status = Status::AtWarpBar;
+                    t.pc = pc + 1;
+                }
+                if release_warp_barrier(&mut blocks[bi], warp_base, run.block_dim as usize) {
+                    hook.on_sync(
+                        &SyncEvent::WarpBarrier {
+                            block_id,
+                            warp_in_block: wi as u32,
+                            global_warp,
+                        },
+                        &mut self.clock,
+                    );
+                }
+            }
+            Instr::Exit => {
+                self.clock.charge(CostCategory::Native, cost.alu);
+                for &l in lanes {
+                    thread!(l).status = Status::Exited;
+                    run.live -= 1;
+                }
+                // Exiting threads release waiters (CUDA treats exited
+                // threads as having arrived at subsequent barriers).
+                if release_block_barrier(&mut blocks[bi]) {
+                    hook.on_sync(&SyncEvent::BlockBarrier { block_id }, &mut self.clock);
+                }
+                if release_warp_barrier(&mut blocks[bi], warp_base, run.block_dim as usize) {
+                    hook.on_sync(
+                        &SyncEvent::WarpBarrier {
+                            block_id,
+                            warp_in_block: wi as u32,
+                            global_warp,
+                        },
+                        &mut self.clock,
+                    );
+                }
+            }
+            Instr::Nop => {
+                self.clock.charge(CostCategory::Native, cost.alu);
+                for &l in lanes {
+                    thread!(l).pc = pc + 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fire_mem_hook(
+        &mut self,
+        kernel: &Kernel,
+        pc: usize,
+        kind: AccessKind,
+        space: Space,
+        block_id: u32,
+        warp_in_block: u32,
+        global_warp: u32,
+        active_mask: u32,
+        lanes: &[LaneAccess],
+        run: &RunState<'_>,
+        sm: usize,
+        volatile: bool,
+        hook: &mut dyn Hook,
+    ) {
+        let access = MemAccess {
+            kernel,
+            pc,
+            kind,
+            space,
+            block_id,
+            warp_in_block,
+            global_warp,
+            active_mask,
+            volatile,
+            lanes,
+            warps_per_block: run.warps_per_block,
+            sm: sm as u32,
+            step: run.stats.steps,
+        };
+        hook.on_mem_access(&access, &mut self.clock);
+    }
+}
+
+struct RunState<'a> {
+    kernel: &'a Kernel,
+    params: &'a [u32],
+    warps_per_block: u32,
+    block_dim: u32,
+    grid_dim: u32,
+    stats: LaunchStats,
+    live: u64,
+}
+
+/// Chooses the lanes (indices within the warp) to execute next for warp
+/// `wi` of `block`, or `None` if no lane is runnable.
+fn pick_split(
+    block: &Block,
+    wi: usize,
+    mode: ExecMode,
+    split_prob: f64,
+    rng: &mut SmallRng,
+) -> Option<Vec<usize>> {
+    let warp_base = wi * WARP_SIZE;
+    let end = (warp_base + WARP_SIZE).min(block.threads.len());
+    let runnable: Vec<usize> = (warp_base..end)
+        .filter(|&t| block.threads[t].status == Status::Ready)
+        .map(|t| t - warp_base)
+        .collect();
+    if runnable.is_empty() {
+        return None;
+    }
+    let chosen_pc = match mode {
+        ExecMode::Lockstep => runnable
+            .iter()
+            .map(|&l| block.threads[warp_base + l].pc)
+            .min()
+            .unwrap(),
+        ExecMode::Its => {
+            let mut pcs: Vec<usize> = runnable
+                .iter()
+                .map(|&l| block.threads[warp_base + l].pc)
+                .collect();
+            pcs.sort_unstable();
+            pcs.dedup();
+            pcs[rng.random_range(0..pcs.len())]
+        }
+    };
+    let mut lanes: Vec<usize> = runnable
+        .into_iter()
+        .filter(|&l| block.threads[warp_base + l].pc == chosen_pc)
+        .collect();
+    // Under ITS, converged threads may split apart at any time.
+    if mode == ExecMode::Its && lanes.len() > 1 && rng.random_bool(split_prob) {
+        let keep = rng.random_range(1..lanes.len());
+        let start = rng.random_range(0..=lanes.len() - keep);
+        lanes = lanes[start..start + keep].to_vec();
+    }
+    Some(lanes)
+}
+
+/// Releases the block barrier if every live thread has arrived.
+/// Returns true if a release happened.
+fn release_block_barrier(block: &mut Block) -> bool {
+    let mut any_waiting = false;
+    for t in &block.threads {
+        match t.status {
+            Status::AtBlockBar => any_waiting = true,
+            Status::Exited => {}
+            _ => return false,
+        }
+    }
+    if !any_waiting {
+        return false;
+    }
+    for t in &mut block.threads {
+        if t.status == Status::AtBlockBar {
+            t.status = Status::Ready;
+        }
+    }
+    true
+}
+
+/// Releases warp `warp_base/WARP_SIZE`'s warp barrier if every live lane has
+/// arrived. Returns true if a release happened.
+fn release_warp_barrier(block: &mut Block, warp_base: usize, block_dim: usize) -> bool {
+    let end = (warp_base + WARP_SIZE).min(block_dim);
+    let mut any_waiting = false;
+    for t in &block.threads[warp_base..end] {
+        match t.status {
+            Status::AtWarpBar => any_waiting = true,
+            Status::Exited => {}
+            _ => return false,
+        }
+    }
+    if !any_waiting {
+        return false;
+    }
+    for t in &mut block.threads[warp_base..end] {
+        if t.status == Status::AtWarpBar {
+            t.status = Status::Ready;
+        }
+    }
+    true
+}
+
+fn gather_lanes(
+    block: &Block,
+    warp_base: usize,
+    lanes: &[usize],
+    addr: Reg,
+    offset: i32,
+) -> Vec<LaneAccess> {
+    lanes
+        .iter()
+        .map(|&l| {
+            let t = &block.threads[warp_base + l];
+            LaneAccess {
+                lane: l as u32,
+                tid_in_block: (warp_base + l) as u32,
+                addr: effective_addr(t.get(addr), offset),
+            }
+        })
+        .collect()
+}
+
+fn effective_addr(base: u32, offset: i32) -> u32 {
+    base.wrapping_add(offset as u32)
+}
+
+fn load_shared(shared: &[u32], addr: u32) -> Result<u32, SimError> {
+    if !addr.is_multiple_of(4) {
+        return Err(SimError::UnalignedAccess { addr });
+    }
+    let w = (addr / 4) as usize;
+    shared.get(w).copied().ok_or(SimError::SharedOutOfBounds {
+        addr,
+        words: shared.len(),
+    })
+}
+
+fn store_shared(shared: &mut [u32], addr: u32, v: u32) -> Result<(), SimError> {
+    if !addr.is_multiple_of(4) {
+        return Err(SimError::UnalignedAccess { addr });
+    }
+    let w = (addr / 4) as usize;
+    match shared.get_mut(w) {
+        Some(slot) => {
+            *slot = v;
+            Ok(())
+        }
+        None => Err(SimError::SharedOutOfBounds {
+            addr,
+            words: shared.len(),
+        }),
+    }
+}
+
+fn eval_alu(op: AluOp, a: u32, b: u32) -> Option<u32> {
+    Some(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => a.checked_div(b)?,
+        AluOp::Rem => a.checked_rem(b)?,
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b),
+        AluOp::Shr => a.wrapping_shr(b),
+    })
+}
+
+fn eval_cmp(op: CmpOp, a: u32, b: u32) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::SLt => (a as i32) < (b as i32),
+        CmpOp::SGt => (a as i32) > (b as i32),
+    }
+}

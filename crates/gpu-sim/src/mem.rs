@@ -1,0 +1,400 @@
+//! The simulated GPU memory system with *scoped visibility*.
+//!
+//! Races induced by insufficient scope are only observable if narrower-scope
+//! operations really have narrower visibility, so the simulator models the
+//! non-coherent L1-per-SM / shared-L2 hierarchy of real NVIDIA GPUs:
+//!
+//! - plain stores land in the issuing SM's L1 (dirty line) and are visible
+//!   to every thread on that SM (all threads of a block share an SM);
+//! - plain loads hit the local L1 if a line is present (dirty *or* clean),
+//!   otherwise fill from L2 — so an SM can keep reading a stale clean copy
+//!   even after L2 moved on, exactly the stale-read failure mode of a
+//!   missing device fence;
+//! - a **device-scope fence** writes the SM's dirty lines back to L2 and
+//!   drops all its lines (subsequent loads refill from L2);
+//! - a **block-scope fence** orders accesses within the SM only — it is a
+//!   visibility no-op here because intra-SM visibility is immediate, which
+//!   is also why it is cheap on hardware (the 21× gap of §1);
+//! - a **block-scope atomic** performs its read-modify-write on the SM-local
+//!   view (L1), so two blocks on different SMs doing block-scope atomics to
+//!   the same word *lose updates* — the Figure 1 bug;
+//! - a **device-scope atomic** operates directly on L2 after writing back /
+//!   dropping any local line for that word;
+//! - `volatile` accesses bypass L1 in both directions (CUDA's escape hatch
+//!   used by spin-wait flags like Figure 10's `arrived`).
+//!
+//! Addresses are byte addresses; all traffic is word (4-byte) sized and
+//! aligned, matching the 4-byte granularity of iGUARD's memory metadata.
+
+use std::collections::HashMap;
+
+use crate::error::SimError;
+use crate::ir::{AtomOp, Scope};
+
+/// One cached word in an SM's L1.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    value: u32,
+    dirty: bool,
+}
+
+/// The global-memory hierarchy: one L2 array plus one L1 map per SM.
+#[derive(Debug)]
+pub struct GlobalMem {
+    l2: Vec<u32>,
+    l1: Vec<HashMap<usize, Line>>,
+}
+
+impl GlobalMem {
+    /// Creates a memory of `words` zero-initialized 4-byte words served by
+    /// `num_sms` streaming multiprocessors.
+    #[must_use]
+    pub fn new(words: usize, num_sms: usize) -> Self {
+        GlobalMem {
+            l2: vec![0; words],
+            l1: vec![HashMap::new(); num_sms],
+        }
+    }
+
+    /// Total words of backing storage.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.l2.len()
+    }
+
+    fn word_index(&self, addr: u32) -> Result<usize, SimError> {
+        if !addr.is_multiple_of(4) {
+            return Err(SimError::UnalignedAccess { addr });
+        }
+        let w = (addr / 4) as usize;
+        if w >= self.l2.len() {
+            return Err(SimError::OutOfBounds {
+                addr,
+                words: self.l2.len(),
+            });
+        }
+        Ok(w)
+    }
+
+    /// Word load by a thread on `sm`.
+    pub fn load(&mut self, sm: usize, addr: u32, volatile: bool) -> Result<u32, SimError> {
+        let w = self.word_index(addr)?;
+        if volatile {
+            // Volatile reads observe L2, but a local *dirty* line is this
+            // SM's own newer write and must win (program order).
+            if let Some(line) = self.l1[sm].get(&w) {
+                if line.dirty {
+                    return Ok(line.value);
+                }
+                self.l1[sm].remove(&w);
+            }
+            return Ok(self.l2[w]);
+        }
+        if let Some(line) = self.l1[sm].get(&w) {
+            return Ok(line.value);
+        }
+        let v = self.l2[w];
+        self.l1[sm].insert(
+            w,
+            Line {
+                value: v,
+                dirty: false,
+            },
+        );
+        Ok(v)
+    }
+
+    /// Word store by a thread on `sm`.
+    pub fn store(
+        &mut self,
+        sm: usize,
+        addr: u32,
+        value: u32,
+        volatile: bool,
+    ) -> Result<(), SimError> {
+        let w = self.word_index(addr)?;
+        if volatile {
+            self.l1[sm].remove(&w);
+            self.l2[w] = value;
+        } else {
+            self.l1[sm].insert(w, Line { value, dirty: true });
+        }
+        Ok(())
+    }
+
+    /// Scoped fence issued by a thread on `sm`.
+    ///
+    /// Device scope: write back dirty lines, drop everything (acquire +
+    /// release visibility). Block scope: intra-SM visibility is already
+    /// immediate, so only ordering (tracked by the detector) is affected.
+    pub fn fence(&mut self, sm: usize, scope: Scope) {
+        if scope == Scope::Device {
+            let l1 = std::mem::take(&mut self.l1[sm]);
+            for (w, line) in l1 {
+                if line.dirty {
+                    self.l2[w] = line.value;
+                }
+            }
+        }
+    }
+
+    /// Scoped atomic read-modify-write; returns the old value.
+    ///
+    /// `cmp` is only meaningful for [`AtomOp::Cas`].
+    pub fn atomic(
+        &mut self,
+        sm: usize,
+        addr: u32,
+        op: AtomOp,
+        src: u32,
+        cmp: u32,
+        scope: Scope,
+    ) -> Result<u32, SimError> {
+        let w = self.word_index(addr)?;
+        match scope {
+            Scope::Block => {
+                // RMW on the SM-local view: atomic w.r.t. this SM only.
+                let old = match self.l1[sm].get(&w) {
+                    Some(line) => line.value,
+                    None => self.l2[w],
+                };
+                let new = apply_atom(op, old, src, cmp);
+                self.l1[sm].insert(
+                    w,
+                    Line {
+                        value: new,
+                        dirty: true,
+                    },
+                );
+                Ok(old)
+            }
+            Scope::Device => {
+                // Publish any local version first, then RMW on L2; do not
+                // keep a local copy (atomics bypass L1 on real hardware).
+                if let Some(line) = self.l1[sm].remove(&w) {
+                    if line.dirty {
+                        self.l2[w] = line.value;
+                    }
+                }
+                let old = self.l2[w];
+                self.l2[w] = apply_atom(op, old, src, cmp);
+                Ok(old)
+            }
+        }
+    }
+
+    /// Host-side read of the coherent (L2) value, used to seed inputs and
+    /// check results after all SM state has been flushed by kernel exit.
+    #[must_use]
+    pub fn read_coherent(&self, addr: u32) -> u32 {
+        self.l2[(addr / 4) as usize]
+    }
+
+    /// Host-side coherent write (cudaMemcpy-to-device analogue).
+    pub fn write_coherent(&mut self, addr: u32, value: u32) {
+        let w = (addr / 4) as usize;
+        self.l2[w] = value;
+        for l1 in &mut self.l1 {
+            l1.remove(&w);
+        }
+    }
+
+    /// Kernel-exit flush: the implicit device-wide barrier at the end of a
+    /// grid publishes every SM's writes (§2.1, implicit barrier 3).
+    pub fn flush_all(&mut self) {
+        for sm in 0..self.l1.len() {
+            self.fence(sm, Scope::Device);
+        }
+    }
+}
+
+/// Pure RMW step shared by both scopes.
+fn apply_atom(op: AtomOp, old: u32, src: u32, cmp: u32) -> u32 {
+    match op {
+        AtomOp::Add => old.wrapping_add(src),
+        AtomOp::Exch => src,
+        AtomOp::Cas => {
+            if old == cmp {
+                src
+            } else {
+                old
+            }
+        }
+        AtomOp::Min => old.min(src),
+        AtomOp::Max => old.max(src),
+        AtomOp::Or => old | src,
+        AtomOp::And => old & src,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> GlobalMem {
+        GlobalMem::new(64, 4)
+    }
+
+    #[test]
+    fn store_visible_on_same_sm_immediately() {
+        let mut m = mem();
+        m.store(0, 8, 42, false).unwrap();
+        assert_eq!(m.load(0, 8, false).unwrap(), 42);
+    }
+
+    #[test]
+    fn store_invisible_across_sms_without_fence() {
+        let mut m = mem();
+        m.store(0, 8, 42, false).unwrap();
+        assert_eq!(
+            m.load(1, 8, false).unwrap(),
+            0,
+            "SM1 must not see SM0's unfenced store"
+        );
+    }
+
+    #[test]
+    fn device_fence_publishes_to_other_sms() {
+        let mut m = mem();
+        m.store(0, 8, 42, false).unwrap();
+        m.fence(0, Scope::Device);
+        assert_eq!(m.load(1, 8, false).unwrap(), 42);
+    }
+
+    #[test]
+    fn block_fence_does_not_publish() {
+        let mut m = mem();
+        m.store(0, 8, 42, false).unwrap();
+        m.fence(0, Scope::Block);
+        assert_eq!(m.load(1, 8, false).unwrap(), 0);
+    }
+
+    #[test]
+    fn stale_clean_line_persists_until_fence() {
+        let mut m = mem();
+        assert_eq!(m.load(1, 8, false).unwrap(), 0); // SM1 caches clean 0
+        m.store(0, 8, 7, false).unwrap();
+        m.fence(0, Scope::Device);
+        // SM1 still sees its stale clean copy...
+        assert_eq!(m.load(1, 8, false).unwrap(), 0);
+        // ...until it fences (acquire side).
+        m.fence(1, Scope::Device);
+        assert_eq!(m.load(1, 8, false).unwrap(), 7);
+    }
+
+    #[test]
+    fn volatile_load_bypasses_clean_l1() {
+        let mut m = mem();
+        assert_eq!(m.load(1, 8, false).unwrap(), 0);
+        m.store(0, 8, 7, false).unwrap();
+        m.fence(0, Scope::Device);
+        assert_eq!(
+            m.load(1, 8, true).unwrap(),
+            7,
+            "volatile read must observe L2"
+        );
+    }
+
+    #[test]
+    fn volatile_store_writes_through() {
+        let mut m = mem();
+        m.store(0, 8, 9, true).unwrap();
+        assert_eq!(m.load(1, 8, false).unwrap(), 9);
+    }
+
+    #[test]
+    fn block_atomic_loses_updates_across_sms() {
+        // The Figure 1 failure mode: two SMs atomicAdd_block the same word.
+        let mut m = mem();
+        let one = 1;
+        assert_eq!(
+            m.atomic(0, 0, AtomOp::Add, one, 0, Scope::Block).unwrap(),
+            0
+        );
+        assert_eq!(
+            m.atomic(1, 0, AtomOp::Add, one, 0, Scope::Block).unwrap(),
+            0
+        );
+        m.flush_all();
+        // One of the two increments is lost: both RMWed their local view.
+        assert_eq!(m.read_coherent(0), 1);
+    }
+
+    #[test]
+    fn device_atomic_is_globally_atomic() {
+        let mut m = mem();
+        assert_eq!(m.atomic(0, 0, AtomOp::Add, 1, 0, Scope::Device).unwrap(), 0);
+        assert_eq!(m.atomic(1, 0, AtomOp::Add, 1, 0, Scope::Device).unwrap(), 1);
+        assert_eq!(m.read_coherent(0), 2);
+    }
+
+    #[test]
+    fn device_atomic_publishes_local_dirty_line_first() {
+        let mut m = mem();
+        m.store(0, 0, 10, false).unwrap();
+        // The device atomic must observe this SM's own program-order store.
+        assert_eq!(
+            m.atomic(0, 0, AtomOp::Add, 1, 0, Scope::Device).unwrap(),
+            10
+        );
+        assert_eq!(m.read_coherent(0), 11);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mut m = mem();
+        assert_eq!(m.atomic(0, 4, AtomOp::Cas, 5, 0, Scope::Device).unwrap(), 0);
+        assert_eq!(m.read_coherent(4), 5);
+        // Failing CAS leaves value intact.
+        assert_eq!(m.atomic(0, 4, AtomOp::Cas, 9, 0, Scope::Device).unwrap(), 5);
+        assert_eq!(m.read_coherent(4), 5);
+    }
+
+    #[test]
+    fn atom_ops_cover_all_variants() {
+        assert_eq!(apply_atom(AtomOp::Add, 2, 3, 0), 5);
+        assert_eq!(apply_atom(AtomOp::Exch, 2, 3, 0), 3);
+        assert_eq!(apply_atom(AtomOp::Min, 2, 3, 0), 2);
+        assert_eq!(apply_atom(AtomOp::Max, 2, 3, 0), 3);
+        assert_eq!(apply_atom(AtomOp::Or, 0b01, 0b10, 0), 0b11);
+        assert_eq!(apply_atom(AtomOp::And, 0b11, 0b10, 0), 0b10);
+        assert_eq!(
+            apply_atom(AtomOp::Add, u32::MAX, 1, 0),
+            0,
+            "atomicAdd wraps"
+        );
+    }
+
+    #[test]
+    fn unaligned_and_oob_accesses_fault() {
+        let mut m = mem();
+        assert!(matches!(
+            m.load(0, 2, false),
+            Err(SimError::UnalignedAccess { .. })
+        ));
+        assert!(matches!(
+            m.load(0, 4 * 64, false),
+            Err(SimError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.store(0, 1, 0, false),
+            Err(SimError::UnalignedAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn kernel_exit_flush_publishes_everything() {
+        let mut m = mem();
+        m.store(2, 12, 99, false).unwrap();
+        m.flush_all();
+        assert_eq!(m.read_coherent(12), 99);
+    }
+
+    #[test]
+    fn host_write_invalidates_cached_copies() {
+        let mut m = mem();
+        assert_eq!(m.load(0, 8, false).unwrap(), 0); // cache clean 0 on SM0
+        m.write_coherent(8, 5);
+        assert_eq!(m.load(0, 8, false).unwrap(), 5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests of the scoped memory hierarchy: random operation
+//! sequences against a reference model of "what a correctly synchronized
+//! observer must see".
+
+use gpu_sim::ir::{AtomOp, Scope};
+use gpu_sim::mem::GlobalMem;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum MemOp {
+    Store { sm: usize, word: u32, value: u32 },
+    DeviceAtomicAdd { sm: usize, word: u32, value: u32 },
+    DeviceFence { sm: usize },
+    BlockFence { sm: usize },
+    Load { sm: usize, word: u32 },
+}
+
+fn op_strategy(sms: usize, words: u32) -> impl Strategy<Value = MemOp> {
+    let sm = 0..sms;
+    let word = 0..words;
+    prop_oneof![
+        (sm.clone(), word.clone(), any::<u32>()).prop_map(|(sm, word, value)| MemOp::Store {
+            sm,
+            word,
+            value
+        }),
+        (sm.clone(), word.clone(), 1u32..1000)
+            .prop_map(|(sm, word, value)| MemOp::DeviceAtomicAdd { sm, word, value }),
+        (sm.clone(),).prop_map(|(sm,)| MemOp::DeviceFence { sm }),
+        (sm.clone(),).prop_map(|(sm,)| MemOp::BlockFence { sm }),
+        (sm, word).prop_map(|(sm, word)| MemOp::Load { sm, word }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After flushing every SM (the kernel-exit barrier), the coherent view
+    /// equals a reference that applies, per word, the *last* plain store of
+    /// each SM or the accumulated atomics — here simplified to: if only
+    /// device atomics touched a word, the total must be exact.
+    #[test]
+    fn device_atomics_are_never_lost(
+        ops in prop::collection::vec(op_strategy(4, 4), 1..64),
+    ) {
+        let mut m = GlobalMem::new(64, 4);
+        let mut expected = [0u64; 4];
+        let mut plain_store_touched = [false; 4];
+        for op in &ops {
+            match *op {
+                MemOp::Store { sm, word, value } => {
+                    m.store(sm, word * 4, value, false).unwrap();
+                    plain_store_touched[word as usize] = true;
+                }
+                MemOp::DeviceAtomicAdd { sm, word, value } => {
+                    m.atomic(sm, word * 4, AtomOp::Add, value, 0, Scope::Device).unwrap();
+                    expected[word as usize] += u64::from(value);
+                }
+                MemOp::DeviceFence { sm } => m.fence(sm, Scope::Device),
+                MemOp::BlockFence { sm } => m.fence(sm, Scope::Block),
+                MemOp::Load { sm, word } => {
+                    let _ = m.load(sm, word * 4, false).unwrap();
+                }
+            }
+        }
+        m.flush_all();
+        for w in 0..4 {
+            if !plain_store_touched[w] {
+                prop_assert_eq!(
+                    u64::from(m.read_coherent(w as u32 * 4)),
+                    expected[w] & 0xFFFF_FFFF,
+                    "word {} touched only by device atomics", w
+                );
+            }
+        }
+    }
+
+    /// An SM always observes its own program order: a load after a store
+    /// from the same SM returns that store's value (absent interleaving
+    /// writes from the same SM).
+    #[test]
+    fn same_sm_reads_own_writes(
+        sm in 0usize..4,
+        word in 0u32..8,
+        value in any::<u32>(),
+        noise in prop::collection::vec(op_strategy(4, 8), 0..16),
+    ) {
+        let mut m = GlobalMem::new(64, 4);
+        // Noise from *other* SMs only, and no atomics on our word (a
+        // same-word device atomic on this SM would fold our store in).
+        for op in &noise {
+            match *op {
+                MemOp::Store { sm: s, word: w, value: v } if s != sm => {
+                    m.store(s, w * 4, v, false).unwrap();
+                }
+                MemOp::DeviceFence { sm: s } if s != sm => m.fence(s, Scope::Device),
+                _ => {}
+            }
+        }
+        m.store(sm, word * 4, value, false).unwrap();
+        prop_assert_eq!(m.load(sm, word * 4, false).unwrap(), value);
+    }
+
+    /// Publication is monotonic: once a value is visible to a fresh
+    /// observer after the writer's device fence, later fences by anyone
+    /// cannot un-publish it (absent new writes).
+    #[test]
+    fn publication_is_monotonic(sm in 0usize..4, word in 0u32..8, value in any::<u32>()) {
+        let mut m = GlobalMem::new(64, 4);
+        m.store(sm, word * 4, value, false).unwrap();
+        m.fence(sm, Scope::Device);
+        for observer in 0..4 {
+            m.fence(observer, Scope::Device);
+            prop_assert_eq!(m.load(observer, word * 4, false).unwrap(), value);
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! The iGUARD detector: an `nvbit-sim` tool that performs the entire race
+//! detection "on the GPU" — i.e., inside the instrumentation callbacks,
+//! in parallel with kernel execution, with no CPU-side analysis (§5).
+//!
+//! Per dynamic global-memory access it:
+//! 1. runs lock inference on atomics (§6.3);
+//! 2. opportunistically **coalesces** same-address loads/atomics of a warp
+//!    split into one metadata operation (§6.5, optimization 1);
+//! 3. touches the UVM-backed metadata entry (faults charge cycles, §6.1);
+//! 4. charges metadata-lock **contention**, tamed by dynamically-adjusted
+//!    exponential backoff (§6.5, optimization 2);
+//! 5. updates shared flags, runs the two-tier P/R checks of Table 2, and
+//!    writes back the metadata (§6.2, §6.4);
+//! 6. reports races to the host buffer without stopping execution (§5).
+
+use std::collections::{HashMap, VecDeque};
+
+use gpu_sim::hook::{AccessKind, LaneAccess, LaunchInfo, MemAccess, SyncEvent};
+use gpu_sim::ir::{AtomOp, Scope, Space};
+use gpu_sim::timing::{Clock, CostCategory};
+use nvbit_sim::Tool;
+
+use crate::bitfield::{AccessorInfo, MetadataEntry};
+use crate::checks::{detailed, preliminary, AccessType, CurrAccess, MdView, RaceKind, Safe};
+use crate::config::IguardConfig;
+use crate::locks::WarpLockState;
+use crate::metadata::{MetadataTable, ENTRY_BYTES};
+use crate::report::{RaceRecord, RaceReporter, RaceSite};
+use crate::syncmeta::SyncMetadata;
+
+/// Aggregate detector counters for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IguardStats {
+    /// Lane-level accesses actually processed (after coalescing).
+    pub accesses: u64,
+    /// Lane accesses skipped thanks to coalescing.
+    pub coalesced_saved: u64,
+    /// Hits per preliminary condition P1..P6.
+    pub safe_hits: [u64; 6],
+    /// Hits per detailed condition R1..R5.
+    pub race_hits: [u64; 5],
+    /// Accesses that found their metadata entry contended.
+    pub contended_accesses: u64,
+    /// Serial cycles charged for metadata-lock contention.
+    pub contention_cycles: u64,
+    /// Serial cycles charged for UVM faults on metadata pages.
+    pub uvm_cycles: u64,
+    /// Kernel launches observed.
+    pub launches: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Contention {
+    last_step: u64,
+    last_warp: u32,
+    streak: u32,
+}
+
+#[derive(Debug, Clone)]
+struct HistRecord {
+    info: AccessorInfo,
+    locks: u16,
+}
+
+/// The iGUARD race detector.
+#[derive(Debug)]
+pub struct Iguard {
+    cfg: IguardConfig,
+    sync: Option<SyncMetadata>,
+    locks: Vec<WarpLockState>,
+    table: Option<MetadataTable>,
+    reporter: RaceReporter,
+    contention: HashMap<u32, Contention>,
+    history: HashMap<u32, VecDeque<HistRecord>>,
+    stats: IguardStats,
+    total_warps: u32,
+    window: u64,
+    /// Reusable scratch for the uncoalesced same-entry dedup check, so the
+    /// per-split hot path does not heap-allocate.
+    scratch_words: Vec<u32>,
+    /// Reusable scratch for lock-inference (lane, addr) pairs.
+    scratch_pairs: Vec<(u32, u32)>,
+}
+
+impl Default for Iguard {
+    fn default() -> Self {
+        Self::new(IguardConfig::default())
+    }
+}
+
+impl Iguard {
+    /// Creates a detector with the given configuration.
+    #[must_use]
+    pub fn new(cfg: IguardConfig) -> Self {
+        let reporter = RaceReporter::new(cfg.report_capacity);
+        Iguard {
+            cfg,
+            sync: None,
+            locks: Vec::new(),
+            table: None,
+            reporter,
+            contention: HashMap::new(),
+            history: HashMap::new(),
+            stats: IguardStats::default(),
+            total_warps: 0,
+            window: 64,
+            scratch_words: Vec::with_capacity(32),
+            scratch_pairs: Vec::with_capacity(32),
+        }
+    }
+
+    /// Detector counters.
+    #[must_use]
+    pub fn stats(&self) -> IguardStats {
+        self.stats
+    }
+
+    /// UVM statistics of the metadata region (empty before first launch).
+    #[must_use]
+    pub fn uvm_stats(&self) -> uvm_sim::UvmStats {
+        self.table
+            .as_ref()
+            .map(MetadataTable::uvm_stats)
+            .unwrap_or_default()
+    }
+
+    /// Number of unique races detected so far.
+    #[must_use]
+    pub fn unique_races(&self) -> usize {
+        self.reporter.unique_races()
+    }
+
+    /// Dynamic race occurrences (before deduplication).
+    #[must_use]
+    pub fn dynamic_races(&self) -> u64 {
+        self.reporter.dynamic_races
+    }
+
+    /// Drains all shipped race reports.
+    pub fn races(&mut self) -> Vec<RaceRecord> {
+        self.reporter.drain()
+    }
+
+    /// Drains reports grouped into distinct sites (the Table 4 unit).
+    pub fn race_sites(&mut self) -> Vec<RaceSite> {
+        let records = self.reporter.drain();
+        crate::report::group_sites(&records)
+    }
+
+    fn sync(&self) -> &SyncMetadata {
+        self.sync
+            .as_ref()
+            .expect("detector received access before launch")
+    }
+
+    /// Charges metadata-lock serialization for one access to `word` and
+    /// returns nothing; the model is described in DESIGN.md §4: a streak of
+    /// temporally-close accesses to the same entry by different warps
+    /// approximates the number of contenders for the entry's lock.
+    fn charge_contention(&mut self, word: u32, warp: u32, step: u64, clock: &mut Clock) {
+        let c = self.contention.entry(word).or_default();
+        let close = step.saturating_sub(c.last_step) <= self.window;
+        if close && c.last_warp != warp {
+            c.streak = c.streak.saturating_add(1);
+        } else if !close {
+            c.streak = 1;
+        }
+        c.last_step = step;
+        c.last_warp = warp;
+        if c.streak > 1 {
+            self.stats.contended_accesses += 1;
+            let cycles = if self.cfg.backoff {
+                // Dynamically-adjusted exponential backoff: contenders
+                // spread out and hand the lock off cleanly, so each pays
+                // roughly one critical section of serialization.
+                self.cfg.contention_base
+            } else {
+                // Unmitigated CAS hammering: every retry burns memory
+                // bandwidth and delays the holder, so the per-access waste
+                // grows with the number of concurrent contenders.
+                2 * u64::from(c.streak.min(96))
+            };
+            self.stats.contention_cycles += cycles;
+            clock.charge_serial(CostCategory::Detection, cycles);
+        }
+    }
+
+    /// The per-access detection pipeline (§6.2, §6.4).
+    ///
+    /// Cycle charges for the data-parallel part of the check happen once
+    /// per warp split in [`Tool::on_mem`] (the injected device function
+    /// runs on the SIMD unit, all lanes in parallel); this method charges
+    /// only the *serializing* components — UVM faults and metadata-lock
+    /// contention.
+    #[allow(clippy::too_many_arguments)]
+    fn process_access(
+        &mut self,
+        lane_access: &LaneAccess,
+        kind: AccessType,
+        access: &MemAccess<'_>,
+        clock: &mut Clock,
+    ) {
+        self.stats.accesses += 1;
+
+        let word = lane_access.addr / 4;
+        let warp = access.global_warp;
+        let lane = lane_access.lane;
+        let block = access.block_id;
+        let wpb = access.warps_per_block;
+
+        // Metadata lookup: UVM touch + contention serialization.
+        let loaded = self.table.as_mut().expect("launched").load(word);
+        if loaded.uvm_cycles > 0 {
+            self.stats.uvm_cycles += loaded.uvm_cycles;
+            clock.charge_serial(CostCategory::Detection, loaded.uvm_cycles);
+        }
+        self.charge_contention(word, warp, access.step, clock);
+
+        let mut entry = loaded.entry;
+        let snap = self.sync().snapshot(warp, lane);
+        let lock_summary = self.locks[warp as usize].summary(lane);
+
+        if !entry.flags.valid {
+            // P1: first access.
+            self.stats.safe_hits[0] += 1;
+            entry.flags.valid = true;
+            entry.accessor = snap;
+            if kind.is_write() {
+                entry.writer = snap;
+                entry.locks = lock_summary;
+                entry.flags.modified = true;
+                if let AccessType::Atomic { scope_block } = kind {
+                    entry.flags.atomic = true;
+                    entry.flags.scope_block = scope_block;
+                }
+            }
+            self.push_history(word, snap, lock_summary);
+            self.table.as_mut().expect("launched").store(word, entry);
+            return;
+        }
+
+        // Shared-flag update precedes the checks (§6.2).
+        let last_block = entry.accessor.block_id(wpb);
+        if last_block != block {
+            entry.flags.dev_shared = true;
+        } else if entry.accessor.warp_id != warp {
+            entry.flags.blk_shared = true;
+        }
+
+        let md_info = if kind.is_write() {
+            entry.accessor
+        } else {
+            entry.writer
+        };
+        let md = self.md_view(md_info);
+        let mut curr = CurrAccess {
+            kind,
+            warp_id: warp,
+            lane,
+            block_id: block,
+            active_mask: access.active_mask,
+            snap,
+            locks: lock_summary,
+        };
+        if !self.cfg.its_support && md_info.warp_id == warp {
+            // ScoRD mode: the detector predates ITS and assumes lockstep
+            // warps -- same-warp accesses are always treated as converged,
+            // which is exactly why ScoRD misses ITS races (Sec 4).
+            curr.active_mask |= 1 << md_info.lane;
+        }
+
+        match preliminary(&entry, &md, &curr, wpb) {
+            Some(safe) => {
+                let idx = match safe {
+                    Safe::FirstAccess => 0,
+                    Safe::NoWrite => 1,
+                    Safe::ProgramOrder => 2,
+                    Safe::WarpSynced => 3,
+                    Safe::Barrier => 4,
+                    Safe::SafeAtomic => 5,
+                };
+                self.stats.safe_hits[idx] += 1;
+            }
+            None => {
+                let mut verdict = detailed(&entry, &md, &curr, wpb);
+                // §6.7 ablation: with deeper history, also check against
+                // older accessors that the 16-byte entry has forgotten.
+                if verdict.is_none() && self.cfg.history_depth > 1 {
+                    verdict = self.check_history(word, &entry, &curr, wpb);
+                }
+                if let Some(kind_found) = verdict {
+                    self.record_race(kind_found, &curr, access, lane_access, md_info, clock);
+                }
+            }
+        }
+
+        // Metadata write-back: identity + synchronization of the accessor,
+        // and of the writer for writes (§6.2).
+        entry.accessor = snap;
+        if kind.is_write() {
+            entry.writer = snap;
+            entry.locks = lock_summary;
+            entry.flags.modified = true;
+            if let AccessType::Atomic { scope_block } = kind {
+                entry.flags.atomic = true;
+                entry.flags.scope_block = scope_block;
+            } else {
+                // A plain store supersedes the atomic history of the
+                // location: P6 must not treat a plain last-write as a safe
+                // atomic (engineering choice documented in DESIGN.md).
+                entry.flags.atomic = false;
+                entry.flags.scope_block = false;
+            }
+        }
+        self.push_history(word, snap, lock_summary);
+        self.table.as_mut().expect("launched").store(word, entry);
+    }
+
+    fn md_view(&self, info: AccessorInfo) -> MdView {
+        let sync = self.sync();
+        // Identity is only meaningful within the current launch epoch; a
+        // wrapped WarpID outside the grid falls back to stored counters.
+        if info.warp_id < self.total_warps {
+            MdView {
+                info,
+                live_dev_fence: sync.dev_fence(info.warp_id, info.lane),
+                live_blk_fence: sync.blk_fence(info.warp_id, info.lane),
+            }
+        } else {
+            MdView {
+                info,
+                live_dev_fence: info.dev_fence,
+                live_blk_fence: info.blk_fence,
+            }
+        }
+    }
+
+    fn push_history(&mut self, word: u32, info: AccessorInfo, locks: u16) {
+        if self.cfg.history_depth <= 1 {
+            return;
+        }
+        let q = self.history.entry(word).or_default();
+        q.push_back(HistRecord { info, locks });
+        while q.len() > self.cfg.history_depth {
+            q.pop_front();
+        }
+    }
+
+    fn check_history(
+        &self,
+        word: u32,
+        entry: &MetadataEntry,
+        curr: &CurrAccess,
+        wpb: u32,
+    ) -> Option<RaceKind> {
+        let q = self.history.get(&word)?;
+        for rec in q.iter().rev().skip(1) {
+            let md = self.md_view(rec.info);
+            let mut shadow = *entry;
+            shadow.locks = rec.locks;
+            if preliminary(&shadow, &md, curr, wpb).is_none() {
+                if let Some(kind) = detailed(&shadow, &md, curr, wpb) {
+                    return Some(kind);
+                }
+            }
+        }
+        None
+    }
+
+    fn record_race(
+        &mut self,
+        kind: RaceKind,
+        curr: &CurrAccess,
+        access: &MemAccess<'_>,
+        lane_access: &LaneAccess,
+        md_info: AccessorInfo,
+        clock: &mut Clock,
+    ) {
+        let idx = match kind {
+            RaceKind::AtomicScope => 0,
+            RaceKind::IntraWarp => 1,
+            RaceKind::IntraBlock => 2,
+            RaceKind::InterBlock => 3,
+            RaceKind::Locking => 4,
+        };
+        self.stats.race_hits[idx] += 1;
+        let record = RaceRecord {
+            kernel: access.kernel.name.clone(),
+            pc: access.pc,
+            line: access.kernel.line(access.pc).map(str::to_owned),
+            addr: lane_access.addr,
+            kind,
+            access: curr.kind,
+            warp: curr.warp_id,
+            lane: curr.lane,
+            block: curr.block_id,
+            prev_warp: md_info.warp_id,
+            prev_lane: md_info.lane,
+        };
+        self.reporter.report(record, clock);
+    }
+}
+
+impl Tool for Iguard {
+    fn at_launch(&mut self, info: &LaunchInfo, clock: &mut Clock) {
+        self.stats.launches += 1;
+        self.total_warps = info.total_warps;
+        self.window = if self.cfg.contention_window > 0 {
+            self.cfg.contention_window
+        } else {
+            64.max(u64::from(info.total_warps))
+        };
+        self.sync = Some(SyncMetadata::new(info.grid_dim, info.warps_per_block));
+        self.locks = vec![WarpLockState::default(); info.total_warps as usize];
+        self.contention.clear();
+        self.history.clear();
+
+        match &mut self.table {
+            Some(table) => table.begin_epoch(),
+            None => {
+                // First launch: allocate the managed metadata region sized
+                // at ~4× device capacity (§6.1) and prefault what fits.
+                let virtual_bytes = 4 * info.device_capacity_bytes;
+                let mut table = MetadataTable::new(
+                    info.backing_words,
+                    self.cfg.uvm.clone(),
+                    virtual_bytes,
+                    info.free_device_bytes,
+                    self.cfg.addr_scale,
+                );
+                let mut setup = self.cfg.setup_fixed_cost;
+                if self.cfg.prefault {
+                    // Metadata is 4x the data it shadows (Sec 6.1); prefault
+                    // as much of it as free device memory allows.
+                    let needed = info.app_footprint_bytes.saturating_mul(4);
+                    setup += table.prefault(needed.max(ENTRY_BYTES));
+                }
+                clock.charge_serial(CostCategory::Setup, setup);
+                self.table = Some(table);
+            }
+        }
+        clock.charge_serial(CostCategory::Misc, self.cfg.misc_cost_per_launch);
+    }
+
+    fn on_mem(&mut self, access: &MemAccess<'_>, clock: &mut Clock) {
+        // iGUARD proper watches global memory only (§4: scratchpad races
+        // are prior tools' domain; see `crate::scratchpad` for that
+        // extension).
+        if access.space != Space::Global {
+            return;
+        }
+        let kind = match access.kind {
+            AccessKind::Load => AccessType::Load,
+            // A volatile word store is hardware-atomic and L1-bypassing —
+            // the publication half of a flag protocol. Classify it as a
+            // relaxed device-scope atomic write so flag polling (covered
+            // by the P6 extensions) does not manufacture races.
+            AccessKind::Store if access.volatile => AccessType::Atomic { scope_block: false },
+            AccessKind::Store => AccessType::Store,
+            AccessKind::Atomic { op, scope } => {
+                // Lock inference (§6.3) happens before race checking.
+                if matches!(op, AtomOp::Cas | AtomOp::Exch) {
+                    self.scratch_pairs.clear();
+                    self.scratch_pairs
+                        .extend(access.lanes.iter().map(|l| (l.lane, l.addr)));
+                    let wl = &mut self.locks[access.global_warp as usize];
+                    match op {
+                        AtomOp::Cas => wl.on_cas(&self.scratch_pairs, scope),
+                        AtomOp::Exch => wl.on_exch(&self.scratch_pairs, scope),
+                        _ => unreachable!("matched above"),
+                    }
+                }
+                AccessType::Atomic {
+                    scope_block: scope == Scope::Block,
+                }
+            }
+        };
+
+        // The injected check runs data-parallel across the split's lanes:
+        // one SIMD issue worth of check + (uncontended) metadata lock.
+        clock.charge(
+            CostCategory::Detection,
+            self.cfg.check_cost + self.cfg.md_lock_cost,
+        );
+
+        // §6.5 optimization 1: same-address loads/atomics of the active
+        // lanes cannot race with each other — one lane checks for all.
+        let coalescible = self.cfg.coalescing
+            && !matches!(kind, AccessType::Store)
+            && access.lanes.len() > 1
+            && access.lanes.iter().all(|l| l.addr == access.lanes[0].addr);
+        if coalescible {
+            self.stats.coalesced_saved += access.lanes.len() as u64 - 1;
+            let rep = access.lanes[0];
+            self.process_access(&rep, kind, access, clock);
+        } else {
+            // Lanes hitting the *same* metadata entry serialize on its
+            // lock; lanes on distinct entries proceed in parallel. Charge
+            // the intra-warp serialization the coalescing optimization
+            // exists to remove.
+            if access.lanes.len() > 1 {
+                self.scratch_words.clear();
+                self.scratch_words
+                    .extend(access.lanes.iter().map(|l| l.addr / 4));
+                self.scratch_words.sort_unstable();
+                self.scratch_words.dedup();
+                let dup = access.lanes.len() - self.scratch_words.len();
+                if dup > 0 {
+                    clock.charge(
+                        CostCategory::Detection,
+                        dup as u64 * (self.cfg.check_cost + self.cfg.md_lock_cost),
+                    );
+                }
+            }
+            for i in 0..access.lanes.len() {
+                let la = access.lanes[i];
+                self.process_access(&la, kind, access, clock);
+            }
+        }
+    }
+
+    fn on_sync(&mut self, event: &SyncEvent<'_>, clock: &mut Clock) {
+        clock.charge(CostCategory::Detection, 4);
+        match event {
+            SyncEvent::BlockBarrier { block_id } => {
+                if let Some(s) = self.sync.as_mut() {
+                    s.block_barrier(*block_id);
+                }
+            }
+            SyncEvent::WarpBarrier { global_warp, .. } => {
+                if let Some(s) = self.sync.as_mut() {
+                    s.warp_barrier(*global_warp);
+                }
+            }
+            SyncEvent::Fence {
+                scope,
+                global_warp,
+                tids,
+                ..
+            } => {
+                let sync = self.sync.as_mut().expect("launched");
+                for &(lane, _tid) in tids.iter() {
+                    sync.fence(*scope, *global_warp, lane);
+                }
+                let lanes: Vec<u32> = tids.iter().map(|&(lane, _)| lane).collect();
+                self.locks[*global_warp as usize].on_fence(lanes, *scope);
+            }
+        }
+    }
+}

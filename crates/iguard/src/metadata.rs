@@ -1,0 +1,237 @@
+//! The memory-metadata table: one 16-byte entry per 4-byte word of global
+//! memory (4× overhead, §6.1), stored packed exactly as Figure 4 and backed
+//! by a simulated UVM managed region so no device memory is pinned.
+//!
+//! Entries are direct-mapped by word index with an address tag; a tag
+//! mismatch means the slot is being reused for a different address and the
+//! entry re-initializes (equivalent to a first access). A per-slot *epoch*
+//! invalidates all entries between kernel launches — the implicit
+//! device-wide barrier at grid completion orders everything across kernels,
+//! so carrying metadata over would only manufacture false positives.
+//! (The paper's detector reinitializes metadata at tool setup; the epoch is
+//! the zero-cost equivalent for a long-lived table.)
+
+use crate::bitfield::MetadataEntry;
+use uvm_sim::{ManagedRegion, Touch, UvmConfig};
+
+/// Bytes of metadata per 4-byte word (Figure 4).
+pub const ENTRY_BYTES: u64 = 16;
+
+/// The UVM-backed metadata table.
+#[derive(Debug)]
+pub struct MetadataTable {
+    acc: Vec<u64>,
+    wr: Vec<u64>,
+    epoch: Vec<u32>,
+    cur_epoch: u32,
+    uvm: ManagedRegion,
+    /// Multiplier mapping backing word indices to *logical* metadata
+    /// offsets, so footprint-scaling experiments (Figure 14) exercise the
+    /// paging behaviour of multi-GB metadata with small backing arrays.
+    addr_scale: u64,
+}
+
+/// Result of a metadata load.
+#[derive(Debug, Clone, Copy)]
+pub struct MetaLoad {
+    /// Decoded entry; `entry.flags.valid == false` means first access
+    /// (slot empty, reused for a new tag, or stale epoch).
+    pub entry: MetadataEntry,
+    /// UVM cycles incurred touching the entry's page (0 when resident).
+    pub uvm_cycles: u64,
+}
+
+impl MetadataTable {
+    /// Creates a table covering `words` 4-byte words of global memory.
+    ///
+    /// `virtual_bytes` is the managed region's size (the paper allocates
+    /// ~4× of GPU memory capacity); `device_budget_bytes` bounds residency.
+    #[must_use]
+    pub fn new(
+        words: usize,
+        uvm_cfg: UvmConfig,
+        virtual_bytes: u64,
+        device_budget_bytes: u64,
+        addr_scale: u64,
+    ) -> Self {
+        assert!(words > 0, "metadata table cannot be empty");
+        MetadataTable {
+            acc: vec![0; words],
+            wr: vec![0; words],
+            epoch: vec![0; words],
+            cur_epoch: 0,
+            uvm: ManagedRegion::new(uvm_cfg, virtual_bytes.max(ENTRY_BYTES), device_budget_bytes),
+            addr_scale: addr_scale.max(1),
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Whether the table is empty (never true; see `new`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+
+    /// Invalidates every entry (new kernel launch).
+    pub fn begin_epoch(&mut self) {
+        self.cur_epoch = self.cur_epoch.wrapping_add(1);
+    }
+
+    /// Prefaults up to `max_bytes` of the managed metadata region
+    /// (`cudaMemset` warm-up); returns setup cycles to charge.
+    pub fn prefault(&mut self, max_bytes: u64) -> u64 {
+        self.uvm.prefault(max_bytes)
+    }
+
+    /// UVM statistics (faults, evictions, prefaulted pages).
+    #[must_use]
+    pub fn uvm_stats(&self) -> uvm_sim::UvmStats {
+        self.uvm.stats()
+    }
+
+    fn slot(&self, word_idx: u32) -> usize {
+        word_idx as usize % self.acc.len()
+    }
+
+    fn tag(&self, word_idx: u32) -> u16 {
+        ((word_idx as usize / self.acc.len()) & 0x3FF) as u16
+    }
+
+    /// Loads the entry for `word_idx`, touching its UVM page.
+    #[must_use]
+    pub fn load(&mut self, word_idx: u32) -> MetaLoad {
+        let off = (u64::from(word_idx) * ENTRY_BYTES * self.addr_scale) % self.uvm.len_bytes();
+        let uvm_cycles = match self.uvm.touch(off) {
+            Touch::Hit => 0,
+            Touch::Fault { cycles } => cycles,
+        };
+        let slot = self.slot(word_idx);
+        let tag = self.tag(word_idx);
+        let mut entry = MetadataEntry::unpack(self.acc[slot], self.wr[slot]);
+        if self.epoch[slot] != self.cur_epoch || entry.tag != tag {
+            entry = MetadataEntry {
+                tag,
+                ..MetadataEntry::default()
+            };
+        }
+        MetaLoad { entry, uvm_cycles }
+    }
+
+    /// Stores the entry for `word_idx` (stamps tag and epoch).
+    pub fn store(&mut self, word_idx: u32, mut entry: MetadataEntry) {
+        let slot = self.slot(word_idx);
+        entry.tag = self.tag(word_idx);
+        let (a, w) = entry.pack();
+        self.acc[slot] = a;
+        self.wr[slot] = w;
+        self.epoch[slot] = self.cur_epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitfield::{AccessorInfo, Flags};
+
+    fn table(words: usize) -> MetadataTable {
+        MetadataTable::new(words, UvmConfig::default(), 1 << 30, 1 << 30, 1)
+    }
+
+    fn valid_entry(warp: u32) -> MetadataEntry {
+        MetadataEntry {
+            tag: 0,
+            flags: Flags {
+                valid: true,
+                ..Flags::default()
+            },
+            accessor: AccessorInfo {
+                warp_id: warp,
+                ..AccessorInfo::default()
+            },
+            writer: AccessorInfo::default(),
+            locks: 0,
+        }
+    }
+
+    #[test]
+    fn fresh_table_yields_invalid_entries() {
+        let mut t = table(64);
+        assert!(!t.load(7).entry.flags.valid);
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut t = table(64);
+        t.store(7, valid_entry(42));
+        let l = t.load(7);
+        assert!(l.entry.flags.valid);
+        assert_eq!(l.entry.accessor.warp_id, 42);
+    }
+
+    #[test]
+    fn epoch_invalidates_all_entries() {
+        let mut t = table(64);
+        t.store(7, valid_entry(42));
+        t.begin_epoch();
+        assert!(
+            !t.load(7).entry.flags.valid,
+            "new kernel must see fresh metadata"
+        );
+    }
+
+    #[test]
+    fn tag_mismatch_reinitializes_slot() {
+        let mut t = table(64);
+        t.store(7, valid_entry(42));
+        // word 71 maps to the same slot (71 % 64 == 7) with a different tag.
+        let l = t.load(71);
+        assert!(
+            !l.entry.flags.valid,
+            "aliased slot must present as first access"
+        );
+        assert_eq!(l.entry.tag, 1);
+    }
+
+    #[test]
+    fn first_touch_pays_uvm_fault_then_hits() {
+        let mut t = table(64);
+        let first = t.load(7);
+        assert!(first.uvm_cycles > 0, "first touch must fault");
+        let second = t.load(7);
+        assert_eq!(second.uvm_cycles, 0, "page now resident");
+    }
+
+    #[test]
+    fn prefault_eliminates_faults() {
+        let mut t = table(64);
+        let setup = t.prefault(u64::MAX);
+        assert!(setup > 0);
+        assert_eq!(t.load(7).uvm_cycles, 0);
+        assert_eq!(t.uvm_stats().faults, 0);
+    }
+
+    #[test]
+    fn addr_scale_spreads_touches_over_more_pages() {
+        let cfg = UvmConfig {
+            page_bytes: 4096,
+            ..UvmConfig::default()
+        };
+        let mut near = MetadataTable::new(64, cfg.clone(), 1 << 30, 1 << 30, 1);
+        let mut far = MetadataTable::new(64, cfg, 1 << 30, 1 << 30, 1024);
+        for w in 0..64u32 {
+            let _ = near.load(w);
+            let _ = far.load(w);
+        }
+        assert!(
+            far.uvm_stats().faults > near.uvm_stats().faults,
+            "scaled addressing must touch more pages ({} vs {})",
+            far.uvm_stats().faults,
+            near.uvm_stats().faults
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Race reporting (§5 "Race reporting").
+//!
+//! Detected races accumulate in a device-side buffer (1 MB in the paper)
+//! that is shipped to the CPU when full or at program end — execution is
+//! never stopped. Reports are deduplicated per (kernel, pc, race-kind)
+//! before shipping so a racing instruction inside a hot loop does not flood
+//! the channel; every dynamic occurrence is still counted.
+
+use std::collections::{BTreeMap, HashSet};
+
+use gpu_sim::timing::{Clock, CostCategory};
+use nvbit_sim::channel::HostChannel;
+
+use crate::checks::{AccessType, RaceKind};
+
+/// One reported race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceRecord {
+    /// Kernel in which the racing access executed.
+    pub kernel: String,
+    /// Program counter of the racing access.
+    pub pc: usize,
+    /// Source annotation, when the binary carries debug info.
+    pub line: Option<String>,
+    /// Byte address of the 4-byte word raced on.
+    pub addr: u32,
+    /// Race classification (Table 2 / Table 4 codes).
+    pub kind: RaceKind,
+    /// The current (second) access's type.
+    pub access: AccessType,
+    /// Current accessor identity.
+    pub warp: u32,
+    /// Current accessor lane.
+    pub lane: u32,
+    /// Current accessor block.
+    pub block: u32,
+    /// Previous conflicting accessor's warp (from metadata).
+    pub prev_warp: u32,
+    /// Previous conflicting accessor's lane.
+    pub prev_lane: u32,
+}
+
+impl std::fmt::Display for RaceRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} race at pc {} on 0x{:x}: warp {} lane {} (block {}) vs warp {} lane {}",
+            self.kernel,
+            self.kind.code(),
+            self.pc,
+            self.addr,
+            self.warp,
+            self.lane,
+            self.block,
+            self.prev_warp,
+            self.prev_lane,
+        )?;
+        if let Some(line) = &self.line {
+            write!(f, "  // {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A distinct racing program location, the unit Table 4 counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceSite {
+    /// Kernel name.
+    pub kernel: String,
+    /// Racing pc.
+    pub pc: usize,
+    /// All race kinds observed at this site.
+    pub kinds: Vec<RaceKind>,
+    /// Source annotation if available.
+    pub line: Option<String>,
+}
+
+/// Accumulates, deduplicates, and ships race reports.
+#[derive(Debug)]
+pub struct RaceReporter {
+    channel: HostChannel<RaceRecord>,
+    shipped_keys: HashSet<(String, usize, RaceKind)>,
+    /// Total dynamic race occurrences (including deduplicated ones).
+    pub dynamic_races: u64,
+}
+
+impl RaceReporter {
+    /// A reporter whose buffer holds `capacity` records before flushing
+    /// (the paper's 1 MB buffer ≈ 16 K records).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        RaceReporter {
+            // Shipping a race record is rare; costs are tiny and charged to
+            // Misc as "report draining".
+            channel: HostChannel::new(capacity, 30, 2_000, CostCategory::Misc),
+            shipped_keys: HashSet::new(),
+            dynamic_races: 0,
+        }
+    }
+
+    /// Records one detected race.
+    pub fn report(&mut self, record: RaceRecord, clock: &mut Clock) {
+        self.dynamic_races += 1;
+        let key = (record.kernel.clone(), record.pc, record.kind);
+        if self.shipped_keys.insert(key) {
+            self.channel.send(record, clock);
+        }
+    }
+
+    /// Drains everything shipped so far (program end / timeout).
+    pub fn drain(&mut self) -> Vec<RaceRecord> {
+        self.channel.drain()
+    }
+
+    /// Unique races shipped so far, without draining.
+    #[must_use]
+    pub fn unique_races(&self) -> usize {
+        self.shipped_keys.len()
+    }
+}
+
+/// Groups drained records into distinct sites (kernel, pc), the unit the
+/// paper's Table 4 counts races in.
+#[must_use]
+pub fn group_sites(records: &[RaceRecord]) -> Vec<RaceSite> {
+    let mut sites: BTreeMap<(String, usize), RaceSite> = BTreeMap::new();
+    for r in records {
+        let site = sites
+            .entry((r.kernel.clone(), r.pc))
+            .or_insert_with(|| RaceSite {
+                kernel: r.kernel.clone(),
+                pc: r.pc,
+                kinds: Vec::new(),
+                line: r.line.clone(),
+            });
+        if !site.kinds.contains(&r.kind) {
+            site.kinds.push(r.kind);
+        }
+    }
+    sites.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(pc: usize, kind: RaceKind) -> RaceRecord {
+        RaceRecord {
+            kernel: "k".into(),
+            pc,
+            line: None,
+            addr: 0x40,
+            kind,
+            access: AccessType::Store,
+            warp: 1,
+            lane: 2,
+            block: 0,
+            prev_warp: 0,
+            prev_lane: 3,
+        }
+    }
+
+    #[test]
+    fn duplicate_races_ship_once_but_count() {
+        let mut clk = Clock::new();
+        let mut r = RaceReporter::new(100);
+        for _ in 0..50 {
+            r.report(record(5, RaceKind::IntraBlock), &mut clk);
+        }
+        assert_eq!(r.dynamic_races, 50);
+        assert_eq!(r.unique_races(), 1);
+        assert_eq!(r.drain().len(), 1);
+    }
+
+    #[test]
+    fn distinct_pcs_and_kinds_all_ship() {
+        let mut clk = Clock::new();
+        let mut r = RaceReporter::new(100);
+        r.report(record(5, RaceKind::IntraBlock), &mut clk);
+        r.report(record(5, RaceKind::Locking), &mut clk);
+        r.report(record(9, RaceKind::IntraBlock), &mut clk);
+        assert_eq!(r.unique_races(), 3);
+    }
+
+    #[test]
+    fn sites_group_by_pc() {
+        let records = vec![
+            record(5, RaceKind::IntraBlock),
+            record(5, RaceKind::Locking),
+            record(9, RaceKind::InterBlock),
+        ];
+        let sites = group_sites(&records);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].kinds.len(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = record(5, RaceKind::AtomicScope).to_string();
+        assert!(s.contains("AS race"));
+        assert!(s.contains("pc 5"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Behavioural tests of detector internals that only show through the
+//! statistics counters: contention accounting, coalescing volume, the
+//! two-tier check hit distribution, and report-buffer behaviour.
+
+use gpu_sim::prelude::*;
+use iguard::{Iguard, IguardConfig};
+use nvbit_sim::Instrumented;
+
+fn run_with(
+    kernel: &Kernel,
+    grid: u32,
+    block: u32,
+    words: usize,
+    cfg: IguardConfig,
+) -> Instrumented<Iguard> {
+    let gcfg = GpuConfig {
+        seed: 7,
+        ..GpuConfig::default()
+    };
+    let mut gpu = Gpu::new(gcfg);
+    let buf = gpu.alloc(words).unwrap();
+    let mut tool = Instrumented::new(Iguard::new(cfg));
+    gpu.launch(kernel, grid, block, &[buf], &mut tool).unwrap();
+    tool
+}
+
+/// Every thread of every warp loads the same word repeatedly.
+fn hot_word_kernel(rounds: u32) -> Kernel {
+    let mut b = KernelBuilder::new("hot_word");
+    let base = b.param(0);
+    let i = b.imm(0);
+    let top = b.here();
+    let done = b.ge(i, rounds);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    let _ = b.ld(base, 0);
+    b.assign_add(i, i, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    b.build()
+}
+
+/// Every thread loads its own private word repeatedly.
+fn private_word_kernel(rounds: u32) -> Kernel {
+    let mut b = KernelBuilder::new("private_word");
+    let base = b.param(0);
+    let g = b.special(Special::GlobalTid);
+    let off = b.mul(g, 4u32);
+    let a = b.add(base, off);
+    let i = b.imm(0);
+    let top = b.here();
+    let done = b.ge(i, rounds);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    let _ = b.ld(a, 0);
+    b.assign_add(i, i, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    b.build()
+}
+
+#[test]
+fn coalescing_collapses_warp_uniform_loads() {
+    let k = hot_word_kernel(8);
+    let with = run_with(&k, 2, 64, 4, IguardConfig::default());
+    let s = with.tool().stats();
+    assert!(s.coalesced_saved > 0, "uniform loads must coalesce");
+    // Each n-lane split processes one representative for n-1 saved; most
+    // splits are full warps (ITS occasionally subdivides them).
+    assert!(
+        s.coalesced_saved > 20 * s.accesses,
+        "most of the 32 lanes must be saved per split ({} saved / {} processed)",
+        s.coalesced_saved,
+        s.accesses
+    );
+
+    let without = run_with(
+        &k,
+        2,
+        64,
+        4,
+        IguardConfig {
+            coalescing: false,
+            ..IguardConfig::default()
+        },
+    );
+    let s2 = without.tool().stats();
+    assert_eq!(s2.coalesced_saved, 0);
+    assert!(
+        s2.accesses > s.accesses * 20,
+        "uncoalesced must process ~32x the accesses"
+    );
+}
+
+#[test]
+fn cross_warp_hot_words_are_contended_private_words_are_not() {
+    let hot = run_with(&hot_word_kernel(8), 4, 64, 4, IguardConfig::default());
+    assert!(
+        hot.tool().stats().contended_accesses > 0,
+        "a grid-shared hot word must register contention"
+    );
+
+    let private = run_with(&private_word_kernel(8), 4, 64, 256, IguardConfig::default());
+    assert_eq!(
+        private.tool().stats().contended_accesses,
+        0,
+        "thread-private words must never be contended"
+    );
+}
+
+#[test]
+fn backoff_reduces_contention_cycles_without_changing_detection() {
+    let k = hot_word_kernel(16);
+    let with = run_with(&k, 4, 64, 4, IguardConfig::default());
+    let without = run_with(
+        &k,
+        4,
+        64,
+        4,
+        IguardConfig {
+            backoff: false,
+            ..IguardConfig::default()
+        },
+    );
+    assert!(
+        without.tool().stats().contention_cycles > 2 * with.tool().stats().contention_cycles,
+        "backoff must shrink serialized cycles ({} vs {})",
+        without.tool().stats().contention_cycles,
+        with.tool().stats().contention_cycles
+    );
+    assert_eq!(with.tool().unique_races(), 0);
+    assert_eq!(without.tool().unique_races(), 0);
+}
+
+#[test]
+fn safe_hit_distribution_reflects_program_structure() {
+    // Private repeated loads: first access (P1) then program order (P3) or
+    // no-write (P2) forever; never barriers or atomics.
+    let t = run_with(&private_word_kernel(4), 1, 64, 128, IguardConfig::default());
+    let s = t.tool().stats();
+    assert!(s.safe_hits[0] > 0, "P1 first-access hits");
+    assert!(s.safe_hits[1] > 0, "P2 no-write hits (read-only words)");
+    assert_eq!(s.safe_hits[4], 0, "no barriers in this kernel");
+    assert_eq!(s.safe_hits[5], 0, "no atomics in this kernel");
+    assert_eq!(s.race_hits.iter().sum::<u64>(), 0);
+}
+
+#[test]
+fn dynamic_races_accumulate_while_reports_deduplicate() {
+    // A hot racy word re-raced every round: many dynamic occurrences, one
+    // shipped report (per pc/kind).
+    let mut b = KernelBuilder::new("repeat_racy");
+    let base = b.param(0);
+    let tid = b.special(Special::Tid);
+    let i = b.imm(0);
+    let top = b.here();
+    let done = b.ge(i, 8u32);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    b.st(base, 0, tid); // every thread, every round: massively racy
+    b.assign_add(i, i, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    let k = b.build();
+    let mut t = run_with(&k, 2, 64, 4, IguardConfig::default());
+    let dynamic = t.tool().dynamic_races();
+    let unique = t.tool().unique_races();
+    assert!(dynamic > 10, "re-raced across rounds: {dynamic}");
+    assert!(unique <= 4, "one site, few kinds: {unique}");
+    assert!(dynamic > unique as u64 * 5, "dedup must collapse repeats");
+    assert_eq!(t.tool_mut().races().len(), unique);
+}
+
+#[test]
+fn scord_mode_detects_scoped_races_but_not_its_races() {
+    // Scoped race: caught by both (the shared logic).
+    let mut b = KernelBuilder::new("scoped_probe");
+    let base = b.param(0);
+    let tid = b.special(Special::Tid);
+    let is0 = b.eq(tid, 0u32);
+    let fin = b.fwd_label();
+    b.bra_ifnot(is0, fin);
+    let one = b.imm(1);
+    let _ = b.atom(AtomOp::Add, Scope::Block, base, 0, one);
+    b.bind(fin);
+    let scoped = b.build();
+    let t = run_with(&scoped, 4, 32, 4, IguardConfig::scord_like());
+    assert!(
+        t.tool().unique_races() > 0,
+        "ScoRD catches scoped-atomic races"
+    );
+
+    // ITS race: invisible to the lockstep assumption.
+    let mut b = KernelBuilder::new("its_probe2");
+    let base = b.param(0);
+    let tid = b.special(Special::Tid);
+    let is1 = b.eq(tid, 1u32);
+    let skip = b.fwd_label();
+    b.bra_ifnot(is1, skip);
+    let v = b.imm(7);
+    b.st(base, 1, v);
+    b.bind(skip);
+    let is0 = b.eq(tid, 0u32);
+    let fin = b.fwd_label();
+    b.bra_ifnot(is0, fin);
+    let got = b.ld(base, 1);
+    b.st(base, 0, got);
+    b.bind(fin);
+    let its = b.build();
+    let t = run_with(&its, 1, 32, 4, IguardConfig::scord_like());
+    assert_eq!(
+        t.tool().unique_races(),
+        0,
+        "ScoRD mode must miss the ITS race"
+    );
+    let t = run_with(&its, 1, 32, 4, IguardConfig::default());
+    assert!(t.tool().unique_races() > 0, "full iGUARD catches it");
+}
+
+#[test]
+fn multi_launch_sequences_resize_state_and_stay_clean() {
+    // Launch grids of very different shapes back to back on one detector:
+    // sync metadata and lock tables are resized per launch, metadata
+    // epochs isolate the kernels, and nothing false-positives.
+    fn fill_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("shape_shifter");
+        let g = b.special(Special::GlobalTid);
+        let base = b.param(0);
+        let off = b.mul(g, 4u32);
+        let a = b.add(base, off);
+        b.st(a, 0, g);
+        b.syncthreads();
+        let v = b.ld(a, 0);
+        let v1 = b.add(v, 1u32);
+        b.st(a, 0, v1);
+        b.build()
+    }
+    let k = fill_kernel();
+    let mut gpu = Gpu::new(GpuConfig {
+        seed: 9,
+        ..GpuConfig::default()
+    });
+    let buf = gpu.alloc(2048).unwrap();
+    let mut tool = Instrumented::new(Iguard::default());
+    for (grid, block) in [(1u32, 32u32), (16, 128), (2, 40), (8, 64), (1, 1024)] {
+        gpu.launch(&k, grid, block, &[buf], &mut tool)
+            .unwrap_or_else(|e| panic!("{grid}x{block}: {e}"));
+    }
+    assert_eq!(tool.tool().unique_races(), 0);
+    assert_eq!(tool.tool().stats().launches, 5);
+}
+
+#[test]
+fn racy_then_clean_launches_do_not_leak_reports() {
+    // A racy kernel followed by a clean one: the clean launch must add no
+    // new sites (epoch isolation), and the racy sites persist for the
+    // final drain.
+    let mut racy = KernelBuilder::new("racy_k");
+    let base = racy.param(0);
+    let tid = racy.special(Special::Tid);
+    racy.st(base, 0, tid); // all threads, one word
+    let racy = racy.build();
+
+    let mut clean = KernelBuilder::new("clean_k");
+    let base = clean.param(0);
+    let g = clean.special(Special::GlobalTid);
+    let off = clean.mul(g, 4u32);
+    let a = clean.add(base, off);
+    clean.st(a, 0, g);
+    let clean = clean.build();
+
+    let mut gpu = Gpu::new(GpuConfig {
+        seed: 9,
+        ..GpuConfig::default()
+    });
+    let buf = gpu.alloc(256).unwrap();
+    let mut tool = Instrumented::new(Iguard::default());
+    gpu.launch(&racy, 1, 64, &[buf], &mut tool).unwrap();
+    let after_racy = tool.tool().unique_races();
+    assert!(after_racy > 0);
+    gpu.launch(&clean, 2, 64, &[buf], &mut tool).unwrap();
+    assert_eq!(
+        tool.tool().unique_races(),
+        after_racy,
+        "clean launch adds nothing"
+    );
+    let races = tool.tool_mut().races();
+    assert!(races.iter().all(|r| r.kernel == "racy_k"));
+}

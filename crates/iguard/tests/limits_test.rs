@@ -1,0 +1,224 @@
+//! Tests of the detector's *documented limitations and design boundaries*
+//! (§6.7): the counter wrap-around artifact, scoped lock/unlock races, and
+//! behaviour differences between lockstep and ITS execution — a faithful
+//! reproduction includes the tool's known blind spots behaving exactly as
+//! the paper says they do.
+
+use gpu_sim::prelude::*;
+use iguard::{Iguard, IguardConfig, RaceKind};
+use nvbit_sim::Instrumented;
+
+fn run(
+    kernel: &Kernel,
+    grid: u32,
+    block: u32,
+    words: usize,
+    mode: ExecMode,
+) -> Instrumented<Iguard> {
+    let cfg = GpuConfig {
+        seed: 5,
+        mode,
+        max_steps: 10_000_000,
+        ..GpuConfig::default()
+    };
+    let mut gpu = Gpu::new(cfg);
+    let buf = gpu.alloc(words).unwrap();
+    let mut tool = Instrumented::new(Iguard::new(IguardConfig::default()));
+    gpu.launch(kernel, grid, block, &[buf], &mut tool).unwrap();
+    tool
+}
+
+/// Cross-warp handoff separated by `barriers` consecutive `__syncthreads`.
+fn barrier_counted_handoff(barriers: u32) -> Kernel {
+    let mut b = KernelBuilder::new("wraparound");
+    let tid = b.special(Special::Tid);
+    let base = b.param(0);
+    // Warp 1's leader writes.
+    let is32 = b.eq(tid, 32u32);
+    let after = b.fwd_label();
+    b.bra_ifnot(is32, after);
+    let v = b.imm(9);
+    b.st(base, 1, v);
+    b.bind(after);
+    // `barriers` barrier releases in a row (all threads participate).
+    let i = b.imm(0);
+    let top = b.here();
+    let done = b.ge(i, barriers);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    b.syncthreads();
+    b.assign_add(i, i, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    // Warp 0's leader reads.
+    let is0 = b.eq(tid, 0u32);
+    let fin = b.fwd_label();
+    b.bra_ifnot(is0, fin);
+    let got = b.ld(base, 1);
+    b.st(base, 0, got);
+    b.bind(fin);
+    b.build()
+}
+
+#[test]
+fn barrier_separated_handoff_is_clean_below_the_counter_width() {
+    // 255 syncthreads: the 8-bit BlkBarID differs -> P5 proves race-free.
+    let mut t = run(&barrier_counted_handoff(255), 1, 64, 4, ExecMode::Its);
+    assert_eq!(t.tool_mut().races().len(), 0);
+}
+
+#[test]
+fn exactly_256_barriers_wrap_the_counter_into_a_false_positive() {
+    // §6.7: "a threadblock should issue exactly 256 syncthreads to cause an
+    // error in detection". The 8-bit counter wraps to its old value, P5
+    // fails, and a (false) intra-block race is reported — the documented
+    // trade-off of the compact Figure 4 layout, faithfully reproduced.
+    let mut t = run(&barrier_counted_handoff(256), 1, 64, 4, ExecMode::Its);
+    let races = t.tool_mut().races();
+    assert!(
+        races.iter().any(|r| r.kind == RaceKind::IntraBlock),
+        "the wrap-around artifact must manifest: {races:?}"
+    );
+}
+
+/// Leaders of every block take the same lock, but the lock's atomics are
+/// *block scoped* — the lock itself races across blocks (§3.1: scoped
+/// lock/unlock operations).
+fn scoped_lock_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("scoped_lock");
+    let base = b.param(0); // [lock, data]
+    let tid = b.special(Special::Tid);
+    let is0 = b.eq(tid, 0u32);
+    let fin = b.fwd_label();
+    b.bra_ifnot(is0, fin);
+    b.lock(Scope::Block, base, 0); // insufficient scope across blocks
+    let v = b.ld(base, 1);
+    let v1 = b.add(v, 1u32);
+    b.st(base, 1, v1);
+    b.unlock(Scope::Block, base, 0);
+    b.bind(fin);
+    b.build()
+}
+
+#[test]
+fn block_scoped_lock_across_blocks_is_a_scoped_atomic_race() {
+    let mut t = run(&scoped_lock_kernel(), 4, 32, 8, ExecMode::Its);
+    let kinds: Vec<RaceKind> = t.tool_mut().races().iter().map(|r| r.kind).collect();
+    assert!(
+        kinds.contains(&RaceKind::AtomicScope),
+        "the under-scoped lock CAS/Exch must trigger R1: {kinds:?}"
+    );
+}
+
+/// Lanes 0 and 1 of one warp contend for the same spin lock. Under
+/// pre-Volta lockstep this livelocks (the §2.1 motivation for ITS: the
+/// waiter's spin and the holder's critical section cannot interleave);
+/// under ITS it completes.
+fn same_warp_lock_contention() -> Kernel {
+    let mut b = KernelBuilder::new("warp_lock_contention");
+    let base = b.param(0); // [lock, counter]
+    let tid = b.special(Special::Tid);
+    let lt2 = b.lt(tid, 2u32);
+    let fin = b.fwd_label();
+    b.bra_ifnot(lt2, fin);
+    b.lock(Scope::Device, base, 0);
+    let v = b.ld(base, 1);
+    let v1 = b.add(v, 1u32);
+    b.st(base, 1, v1);
+    b.unlock(Scope::Device, base, 0);
+    b.bind(fin);
+    b.build()
+}
+
+#[test]
+fn same_warp_lock_contention_livelocks_under_lockstep() {
+    let k = same_warp_lock_contention();
+    let cfg = GpuConfig {
+        seed: 5,
+        mode: ExecMode::Lockstep,
+        max_steps: 200_000,
+        ..GpuConfig::default()
+    };
+    let mut gpu = Gpu::new(cfg);
+    let buf = gpu.alloc(8).unwrap();
+    let err = gpu.launch(&k, 1, 32, &[buf], &mut NullHook).unwrap_err();
+    assert!(
+        matches!(err, SimError::Timeout { .. }),
+        "lockstep must livelock on intra-warp lock contention, got {err:?}"
+    );
+}
+
+#[test]
+fn same_warp_lock_contention_completes_under_its() {
+    // "Since Volta... ITS avoided such deadlocks" (§2.1).
+    let k = same_warp_lock_contention();
+    let cfg = GpuConfig {
+        seed: 5,
+        mode: ExecMode::Its,
+        max_steps: 2_000_000,
+        ..GpuConfig::default()
+    };
+    let mut gpu = Gpu::new(cfg);
+    let buf = gpu.alloc(8).unwrap();
+    gpu.launch(&k, 1, 32, &[buf], &mut NullHook)
+        .expect("ITS resolves the livelock");
+    assert_eq!(gpu.read(buf, 1), 2, "both critical sections executed");
+    assert_eq!(gpu.read(buf, 0), 0, "lock released");
+}
+
+#[test]
+fn correctly_locked_same_warp_contention_is_race_free_under_its() {
+    // The same kernel under the detector: the two critical sections share
+    // the lock, so no race is reported despite the warp divergence.
+    let mut t = run(&same_warp_lock_contention(), 1, 32, 8, ExecMode::Its);
+    assert_eq!(t.tool().unique_races(), 0, "{:?}", t.tool_mut().races());
+}
+
+#[test]
+fn fence_counter_wraps_at_64_can_hide_a_fence() {
+    // The 6-bit fence counters wrap at 64: a writer that fences exactly 64
+    // times after its store looks like it never fenced — a (spurious) DR
+    // report, the mirror-image artifact of the barrier wrap-around.
+    fn kernel(fences: u32) -> Kernel {
+        let mut b = KernelBuilder::new("fence_wrap");
+        let base = b.param(0);
+        let bid = b.special(Special::BlockId);
+        let tid = b.special(Special::Tid);
+        let is_writer = b.eq(bid, 0u32);
+        let reader_l = b.fwd_label();
+        b.bra_ifnot(is_writer, reader_l);
+        let t0 = b.eq(tid, 0u32);
+        let wdone = b.fwd_label();
+        b.bra_ifnot(t0, wdone);
+        let v = b.imm(5);
+        b.st(base, 1, v);
+        for _ in 0..fences {
+            b.membar(Scope::Device);
+        }
+        let one = b.imm(1);
+        let _ = b.atomic_exch(Scope::Device, base, 0, one);
+        b.bind(wdone);
+        let end = b.fwd_label();
+        b.bra(end);
+        b.bind(reader_l);
+        let t0r = b.eq(tid, 0u32);
+        let rdone = b.fwd_label();
+        b.bra_ifnot(t0r, rdone);
+        let spin = b.here();
+        let f = b.ld_volatile(base, 0);
+        let unset = b.eq(f, 0u32);
+        b.bra_if(unset, spin);
+        let _ = b.ld(base, 1);
+        b.bind(rdone);
+        b.bind(end);
+        b.build()
+    }
+    // One fence: ordered, clean.
+    let t = run(&kernel(1), 2, 32, 4, ExecMode::Its);
+    assert_eq!(t.tool().unique_races(), 0);
+    // Sixty-four fences: the counter returns to its stored value and the
+    // release looks absent — a false DR, exactly as §6.7 concedes.
+    let mut t = run(&kernel(64), 2, 32, 4, ExecMode::Its);
+    let kinds: Vec<RaceKind> = t.tool_mut().races().iter().map(|r| r.kind).collect();
+    assert!(kinds.contains(&RaceKind::InterBlock), "got {kinds:?}");
+}

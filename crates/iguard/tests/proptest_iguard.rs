@@ -1,0 +1,207 @@
+//! Property-based tests of the detector's data structures and check logic.
+
+use iguard::bitfield::{wrapping_inc, AccessorInfo, Flags, MetadataEntry};
+use iguard::checks::{detailed, preliminary, AccessType, CurrAccess, MdView, Safe};
+use iguard::locks::{bloom_bits, lock_hash, LockTable};
+use proptest::prelude::*;
+
+fn arb_accessor() -> impl Strategy<Value = AccessorInfo> {
+    (
+        0u32..1 << 15,
+        0u32..32,
+        0u8..64,
+        0u8..64,
+        any::<u8>(),
+        0u8..64,
+    )
+        .prop_map(
+            |(warp_id, lane, dev_fence, blk_fence, blk_bar, warp_bar)| AccessorInfo {
+                warp_id,
+                lane,
+                dev_fence,
+                blk_fence,
+                blk_bar,
+                warp_bar,
+            },
+        )
+}
+
+fn arb_flags() -> impl Strategy<Value = Flags> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(valid, modified, atomic, scope_block, dev_shared, blk_shared)| Flags {
+                valid,
+                modified,
+                atomic,
+                scope_block,
+                dev_shared,
+                blk_shared,
+            },
+        )
+}
+
+fn arb_entry() -> impl Strategy<Value = MetadataEntry> {
+    (
+        0u16..1 << 10,
+        arb_flags(),
+        arb_accessor(),
+        arb_accessor(),
+        any::<u16>(),
+    )
+        .prop_map(|(tag, flags, accessor, writer, locks)| MetadataEntry {
+            tag,
+            flags,
+            accessor,
+            writer,
+            locks,
+        })
+}
+
+fn arb_access_type() -> impl Strategy<Value = AccessType> {
+    prop_oneof![
+        Just(AccessType::Load),
+        Just(AccessType::Store),
+        any::<bool>().prop_map(|scope_block| AccessType::Atomic { scope_block }),
+    ]
+}
+
+fn arb_curr() -> impl Strategy<Value = CurrAccess> {
+    (
+        arb_access_type(),
+        0u32..1 << 15,
+        0u32..32,
+        any::<u32>(),
+        arb_accessor(),
+        any::<u16>(),
+    )
+        .prop_map(
+            |(kind, warp_id, lane, active_mask, snap, locks)| CurrAccess {
+                kind,
+                warp_id,
+                lane,
+                block_id: warp_id / 4,
+                active_mask,
+                snap,
+                locks,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Figure 4's packed representation loses no in-range information.
+    #[test]
+    fn metadata_entry_pack_unpack_round_trips(e in arb_entry()) {
+        let (a, w) = e.pack();
+        prop_assert_eq!(MetadataEntry::unpack(a, w), e);
+    }
+
+    /// Counter wrap stays inside the field width for every width used.
+    #[test]
+    fn wrapping_inc_stays_in_field(v in any::<u8>(), bits in 1u32..8) {
+        let masked = v & ((1u16 << bits) - 1) as u8;
+        let next = wrapping_inc(masked, bits);
+        prop_assert!(u16::from(next) < (1u16 << bits));
+        // And it is a successor modulo 2^bits.
+        prop_assert_eq!(u16::from(next), (u16::from(masked) + 1) % (1u16 << bits));
+    }
+
+    /// An unmodified location can never race with a load (P2 dominates).
+    #[test]
+    fn unwritten_locations_never_race_with_loads(
+        mut entry in arb_entry(),
+        md in arb_accessor(),
+        mut curr in arb_curr(),
+    ) {
+        entry.flags.modified = false;
+        curr.kind = AccessType::Load;
+        let mdv = MdView { info: md, live_dev_fence: md.dev_fence, live_blk_fence: md.blk_fence };
+        prop_assert_eq!(preliminary(&entry, &mdv, &curr, 4), Some(Safe::NoWrite));
+    }
+
+    /// A race verdict requires that no preliminary condition held: the two
+    /// tiers are evaluated strictly in order, so `detailed` results are
+    /// only meaningful (and only used) when `preliminary` is None. Here we
+    /// check the core soundness invariant instead: if the previous
+    /// accessor is still *converged* with the current thread (same warp,
+    /// in-mask), no verdict can be produced by the pipeline.
+    #[test]
+    fn converged_same_warp_accesses_are_never_racy(
+        mut entry in arb_entry(),
+        mut curr in arb_curr(),
+    ) {
+        entry.flags.valid = true;
+        entry.flags.dev_shared = false;
+        entry.flags.blk_shared = false;
+        entry.accessor.warp_id = curr.warp_id;
+        entry.writer.warp_id = curr.warp_id;
+        // The previous accessor's lane is in the current active mask.
+        curr.active_mask |= 1 << entry.accessor.lane;
+        curr.active_mask |= 1 << entry.writer.lane;
+        let md = if curr.kind.is_write() { entry.accessor } else { entry.writer };
+        let mdv = MdView { info: md, live_dev_fence: md.dev_fence, live_blk_fence: md.blk_fence };
+        let p = preliminary(&entry, &mdv, &curr, 4);
+        prop_assert!(p.is_some(), "lockstep-converged access must be proven safe");
+    }
+
+    /// If md's thread has device-fenced since its access, neither R2, R3
+    /// nor R4 can fire — only lockset (R5) remains possible.
+    #[test]
+    fn a_device_fence_suppresses_all_hb_races(
+        mut entry in arb_entry(),
+        curr in arb_curr(),
+        bump in 1u8..63,
+    ) {
+        entry.flags.valid = true;
+        entry.locks = 0;       // keep R5 out of the picture
+        let mut c = curr;
+        c.locks = 0;
+        entry.flags.atomic = false; // keep R1 out of the picture
+        let md = if c.kind.is_write() { entry.accessor } else { entry.writer };
+        let mdv = MdView {
+            info: md,
+            live_dev_fence: (md.dev_fence + bump) & 63,
+            live_blk_fence: md.blk_fence,
+        };
+        prop_assert_eq!(detailed(&entry, &mdv, &c, 4), None);
+    }
+
+    /// Lock-table summary is exactly the OR of held locks' Bloom bits, and
+    /// acquire/release is idempotent and reversible.
+    #[test]
+    fn lock_table_summary_matches_held_set(addrs in prop::collection::vec(0u32..1 << 20, 1..4)) {
+        let mut t = LockTable::default();
+        for &a in &addrs {
+            t.on_cas(a * 4, gpu_sim::ir::Scope::Device);
+        }
+        t.on_fence(gpu_sim::ir::Scope::Device);
+        let expected: u16 = addrs
+            .iter()
+            .map(|&a| bloom_bits(lock_hash(a * 4)))
+            .fold(0, |acc, b| acc | b);
+        prop_assert_eq!(t.summary(), expected);
+        for &a in &addrs {
+            t.on_exch(a * 4, gpu_sim::ir::Scope::Device);
+        }
+        prop_assert_eq!(t.summary(), 0, "all released");
+    }
+
+    /// The 18-bit hash and 2-bit Bloom are deterministic and in-range.
+    #[test]
+    fn lock_hash_and_bloom_are_well_formed(addr in any::<u32>()) {
+        let h = lock_hash(addr);
+        prop_assert!(h < (1 << 18));
+        prop_assert_eq!(h, lock_hash(addr));
+        let b = bloom_bits(h);
+        prop_assert!(b != 0);
+        prop_assert!(b.count_ones() <= 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Device→host communication channel.
+//!
+//! NVBit tools ship records from injected device code to a host-side
+//! consumer through a pinned-memory channel. The *cost structure* of that
+//! channel is what separates the two detectors in this reproduction:
+//!
+//! - **Barracuda** ships *every* memory/synchronization event and performs
+//!   detection on the CPU — each record pays a serial (critical-path)
+//!   shipping charge, because the host consumer is one thread and the
+//!   device-side producers must serialize into the ring buffer. This is the
+//!   paper's explanation for Barracuda's 10–1000× overheads (§4).
+//! - **iGUARD** ships only *race reports* (a 1 MB buffer drained when full
+//!   or at kernel end, §5 "Race reporting"), so channel cost is negligible
+//!   unless a program races pathologically.
+
+use gpu_sim::timing::{Clock, CostCategory};
+
+/// Channel statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Records pushed by device-side code.
+    pub sent: u64,
+    /// Records consumed by the host side.
+    pub drained: u64,
+    /// Times the buffer filled and forced a synchronous flush.
+    pub full_flushes: u64,
+}
+
+/// A bounded device→host record channel with per-record serial cost.
+#[derive(Debug)]
+pub struct HostChannel<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    ship_cost: u64,
+    flush_cost: u64,
+    category: CostCategory,
+    stats: ChannelStats,
+    drained: Vec<T>,
+}
+
+impl<T> HostChannel<T> {
+    /// A channel holding up to `capacity` records before it must flush.
+    ///
+    /// `ship_cost` is charged serially per record (ring-buffer slot
+    /// reservation is a device-wide atomic); `flush_cost` is charged
+    /// serially per forced flush (host round-trip).
+    #[must_use]
+    pub fn new(capacity: usize, ship_cost: u64, flush_cost: u64, category: CostCategory) -> Self {
+        assert!(capacity > 0, "channel capacity must be positive");
+        HostChannel {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            ship_cost,
+            flush_cost,
+            category,
+            stats: ChannelStats::default(),
+            drained: Vec::new(),
+        }
+    }
+
+    /// Ships one record, charging its costs to `clock`.
+    pub fn send(&mut self, record: T, clock: &mut Clock) {
+        clock.charge_serial(self.category, self.ship_cost);
+        self.buf.push(record);
+        self.stats.sent += 1;
+        if self.buf.len() >= self.capacity {
+            self.stats.full_flushes += 1;
+            clock.charge_serial(self.category, self.flush_cost);
+            self.drain_internal();
+        }
+    }
+
+    fn drain_internal(&mut self) {
+        self.stats.drained += self.buf.len() as u64;
+        self.drained.append(&mut self.buf);
+    }
+
+    /// Host-side drain (kernel end / program exit): returns everything
+    /// shipped so far, in order.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.drain_internal();
+        std::mem::take(&mut self.drained)
+    }
+
+    /// Records currently waiting in the device-side buffer.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Channel counters.
+    #[must_use]
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_arrive_in_order() {
+        let mut clk = Clock::new();
+        let mut ch = HostChannel::new(100, 5, 50, CostCategory::Misc);
+        for i in 0..10 {
+            ch.send(i, &mut clk);
+        }
+        assert_eq!(ch.drain(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ship_cost_is_serial_per_record() {
+        let mut clk = Clock::new();
+        clk.set_parallelism(1000.0);
+        let mut ch = HostChannel::new(1000, 7, 0, CostCategory::Detection);
+        for i in 0..100 {
+            ch.send(i, &mut clk);
+        }
+        // 100 records × 7 cycles, unamortized by parallelism.
+        assert!((clk.time(CostCategory::Detection) - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_buffer_forces_flush() {
+        let mut clk = Clock::new();
+        let mut ch = HostChannel::new(4, 1, 100, CostCategory::Misc);
+        for i in 0..9 {
+            ch.send(i, &mut clk);
+        }
+        assert_eq!(ch.stats().full_flushes, 2);
+        assert_eq!(ch.pending(), 1);
+        let all = ch.drain();
+        assert_eq!(all.len(), 9);
+        assert_eq!(ch.stats().drained, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = HostChannel::<u32>::new(0, 1, 1, CostCategory::Misc);
+    }
+}

@@ -1,0 +1,273 @@
+//! # nvbit-sim: dynamic binary instrumentation for the simulated GPU
+//!
+//! iGUARD is implemented as an NVBit tool (§5): NVBit inspects the SASS of
+//! each kernel as it is loaded, lets the tool pick instrumentation points,
+//! and injects device-function callbacks — **no recompilation or source
+//! access**, which is what lets the detector attach to closed-source
+//! libraries. This crate reproduces that layer over `gpu-sim`:
+//!
+//! - [`inspect`] — static analysis of loaded kernel objects (the
+//!   `nvbit_get_instrs` analogue), with per-pc instrumentation predicates;
+//! - [`Tool`] — the tool-side interface (`instrument` + runtime callbacks);
+//! - [`Instrumented`] — the adapter that mounts a tool onto the GPU's hook
+//!   interface, charging realistic *framework* costs: one-time binary
+//!   analysis per kernel (Figure 13's "NVBit" bar) and per-dynamic-callback
+//!   dispatch overhead (Figure 13's "Instrumentation" bar);
+//! - [`channel`] — a device→host channel with per-record shipping costs
+//!   (what Barracuda pays for every event, and iGUARD only for race
+//!   reports).
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod inspect;
+
+use gpu_sim::hook::{Hook, LaunchInfo, MemAccess, SyncEvent};
+use gpu_sim::timing::{Clock, CostCategory};
+
+use std::collections::HashMap;
+
+/// Framework cost parameters (cycles).
+#[derive(Debug, Clone)]
+pub struct NvbitConfig {
+    /// One-time binary analysis + injection cost per static instruction of
+    /// each kernel (SASS disassembly, CFG build, patching).
+    pub analysis_cost_per_instr: u64,
+    /// Fixed one-time cost per kernel (module load, relocation).
+    pub analysis_cost_fixed: u64,
+    /// Dispatch cost per instrumented dynamic memory access (spill, call
+    /// injected device function, restore) — charged even if the tool then
+    /// does nothing.
+    pub callback_cost_mem: u64,
+    /// Dispatch cost per instrumented dynamic synchronization operation.
+    pub callback_cost_sync: u64,
+}
+
+impl Default for NvbitConfig {
+    fn default() -> Self {
+        NvbitConfig {
+            analysis_cost_per_instr: 1,
+            analysis_cost_fixed: 60,
+            callback_cost_mem: 6,
+            callback_cost_sync: 4,
+        }
+    }
+}
+
+/// The interface an instrumentation tool (iGUARD, Barracuda, ...) presents
+/// to the framework. Mirrors NVBit's tool API shape: a static `instrument`
+/// decision per instruction plus runtime callbacks.
+pub trait Tool {
+    /// Whether the framework should inject a callback at this static
+    /// instruction. The default instruments all global-memory accesses and
+    /// synchronization operations — exactly iGUARD's selection (§5).
+    fn wants(&self, instr: &gpu_sim::ir::Instr) -> bool {
+        instr.is_global_access() || instr.is_sync()
+    }
+
+    /// Kernel launch (after framework analysis).
+    fn at_launch(&mut self, _info: &LaunchInfo, _clock: &mut Clock) {}
+
+    /// Kernel completion.
+    fn at_exit(&mut self, _info: &LaunchInfo, _clock: &mut Clock) {}
+
+    /// An instrumented dynamic global-memory access.
+    fn on_mem(&mut self, _access: &MemAccess<'_>, _clock: &mut Clock) {}
+
+    /// An instrumented dynamic synchronization operation.
+    fn on_sync(&mut self, _event: &SyncEvent<'_>, _clock: &mut Clock) {}
+}
+
+/// Mounts a [`Tool`] onto the GPU as a [`Hook`], adding framework costs.
+///
+/// Analysis runs once per kernel *name* (NVBit caches instrumented
+/// functions); the per-pc instrumentation bitmap produced by the tool's
+/// [`Tool::wants`] gates callbacks so un-instrumented instructions run at
+/// native speed.
+pub struct Instrumented<T: Tool> {
+    tool: T,
+    cfg: NvbitConfig,
+    /// kernel name → per-pc "has callback" bitmap.
+    maps: HashMap<String, Vec<bool>>,
+}
+
+impl<T: Tool> Instrumented<T> {
+    /// Wraps `tool` with default framework costs.
+    pub fn new(tool: T) -> Self {
+        Self::with_config(tool, NvbitConfig::default())
+    }
+
+    /// Wraps `tool` with explicit framework costs.
+    pub fn with_config(tool: T, cfg: NvbitConfig) -> Self {
+        Instrumented {
+            tool,
+            cfg,
+            maps: HashMap::new(),
+        }
+    }
+
+    /// The wrapped tool.
+    pub fn tool(&self) -> &T {
+        &self.tool
+    }
+
+    /// Mutable access to the wrapped tool (drain reports, read stats).
+    pub fn tool_mut(&mut self) -> &mut T {
+        &mut self.tool
+    }
+
+    /// Unwraps the tool.
+    pub fn into_tool(self) -> T {
+        self.tool
+    }
+
+    fn ensure_analyzed(&mut self, kernel: &gpu_sim::kernel::Kernel, clock: &mut Clock) {
+        if self.maps.contains_key(&kernel.name) {
+            return;
+        }
+        // One-time, host-side (serial) binary analysis.
+        let cost = self.cfg.analysis_cost_fixed
+            + self.cfg.analysis_cost_per_instr * kernel.code.len() as u64;
+        clock.charge_serial(CostCategory::Nvbit, cost);
+        let map = kernel.code.iter().map(|i| self.tool.wants(i)).collect();
+        self.maps.insert(kernel.name.clone(), map);
+    }
+
+    fn is_instrumented(&self, kernel_name: &str, pc: usize) -> bool {
+        self.maps
+            .get(kernel_name)
+            .is_some_and(|m| m.get(pc).copied().unwrap_or(false))
+    }
+}
+
+impl<T: Tool> Hook for Instrumented<T> {
+    fn on_kernel_launch(&mut self, info: &LaunchInfo, clock: &mut Clock) {
+        self.tool.at_launch(info, clock);
+    }
+
+    fn on_kernel_end(&mut self, info: &LaunchInfo, clock: &mut Clock) {
+        self.tool.at_exit(info, clock);
+    }
+
+    fn on_mem_access(&mut self, access: &MemAccess<'_>, clock: &mut Clock) {
+        self.ensure_analyzed(access.kernel, clock);
+        if !self.is_instrumented(&access.kernel.name, access.pc) {
+            return;
+        }
+        clock.charge(CostCategory::Instrumentation, self.cfg.callback_cost_mem);
+        self.tool.on_mem(access, clock);
+    }
+
+    fn on_sync(&mut self, event: &SyncEvent<'_>, clock: &mut Clock) {
+        // Barrier releases carry no kernel/pc; they are always relevant to
+        // tools that instrument synchronization, so dispatch them all.
+        clock.charge(CostCategory::Instrumentation, self.cfg.callback_cost_sync);
+        self.tool.on_sync(event, clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::prelude::*;
+
+    /// Tool that counts callbacks and records what it saw.
+    #[derive(Default)]
+    struct Probe {
+        mems: u64,
+        syncs: u64,
+        launches: u64,
+        exits: u64,
+    }
+
+    impl Tool for Probe {
+        fn at_launch(&mut self, _i: &LaunchInfo, _c: &mut Clock) {
+            self.launches += 1;
+        }
+        fn at_exit(&mut self, _i: &LaunchInfo, _c: &mut Clock) {
+            self.exits += 1;
+        }
+        fn on_mem(&mut self, _a: &MemAccess<'_>, _c: &mut Clock) {
+            self.mems += 1;
+        }
+        fn on_sync(&mut self, _e: &SyncEvent<'_>, _c: &mut Clock) {
+            self.syncs += 1;
+        }
+    }
+
+    fn test_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("probe_me");
+        let base = b.param(0);
+        let tid = b.special(Special::Tid);
+        let off = b.mul(tid, 4u32);
+        let addr = b.add(base, off);
+        let v = b.ld(addr, 0);
+        let v2 = b.add(v, 1u32);
+        b.st(addr, 0, v2);
+        b.syncthreads();
+        b.membar(Scope::Device);
+        b.build()
+    }
+
+    #[test]
+    fn tool_receives_instrumented_events() {
+        let mut gpu = Gpu::new(GpuConfig::default());
+        let buf = gpu.alloc(64).unwrap();
+        let mut inst = Instrumented::new(Probe::default());
+        gpu.launch(&test_kernel(), 1, 32, &[buf], &mut inst)
+            .unwrap();
+        let p = inst.tool();
+        assert_eq!(p.launches, 1);
+        assert_eq!(p.exits, 1);
+        assert!(p.mems >= 2, "load + store splits, got {}", p.mems);
+        assert!(p.syncs >= 2, "barrier + fence, got {}", p.syncs);
+    }
+
+    #[test]
+    fn analysis_cost_charged_once_per_kernel() {
+        let mut gpu = Gpu::new(GpuConfig::default());
+        let buf = gpu.alloc(64).unwrap();
+        let mut inst = Instrumented::new(Probe::default());
+        let k = test_kernel();
+        gpu.launch(&k, 1, 32, &[buf], &mut inst).unwrap();
+        let after_first = gpu.clock().raw(CostCategory::Nvbit).1;
+        assert!(after_first > 0);
+        gpu.launch(&k, 1, 32, &[buf], &mut inst).unwrap();
+        let after_second = gpu.clock().raw(CostCategory::Nvbit).1;
+        assert_eq!(after_first, after_second, "NVBit analysis must be cached");
+    }
+
+    #[test]
+    fn dispatch_cost_charged_per_dynamic_callback() {
+        let mut gpu = Gpu::new(GpuConfig::default());
+        let buf = gpu.alloc(64).unwrap();
+        let mut inst = Instrumented::new(Probe::default());
+        gpu.launch(&test_kernel(), 1, 32, &[buf], &mut inst)
+            .unwrap();
+        let (par, _) = gpu.clock().raw(CostCategory::Instrumentation);
+        assert!(par > 0, "instrumentation dispatch must cost cycles");
+    }
+
+    /// A tool that opts out of everything sees no memory callbacks and
+    /// costs (almost) nothing — NVBit's selective instrumentation.
+    struct Selective;
+
+    impl Tool for Selective {
+        fn wants(&self, _i: &gpu_sim::ir::Instr) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn uninstrumented_instructions_run_without_dispatch_cost() {
+        let mut gpu = Gpu::new(GpuConfig::default());
+        let buf = gpu.alloc(64).unwrap();
+        let mut inst = Instrumented::new(Selective);
+        gpu.launch(&test_kernel(), 1, 32, &[buf], &mut inst)
+            .unwrap();
+        let (mem_dispatch, _) = gpu.clock().raw(CostCategory::Instrumentation);
+        // Only sync dispatches remain (they carry no pc filter).
+        let sync_cost = NvbitConfig::default().callback_cost_sync;
+        assert!(mem_dispatch <= sync_cost * 4, "got {mem_dispatch}");
+    }
+}

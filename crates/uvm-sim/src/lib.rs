@@ -1,0 +1,301 @@
+//! # uvm-sim: Unified Virtual Memory for the iGUARD reproduction
+//!
+//! iGUARD allocates its ~4× memory metadata with `cudaMallocManaged` so that
+//! **no device memory is pinned** (§6.1 "Allocating metadata"): virtual
+//! pages are materialized on the GPU by demand faults, migrated back to the
+//! host under pressure, and — when free device memory permits — *prefaulted*
+//! at setup time so the hot path never faults. Figure 14 of the paper is
+//! entirely a property of this mechanism: iGUARD degrades gracefully as the
+//! application footprint grows, while Barracuda's reserve-up-front policy
+//! runs out of memory.
+//!
+//! This crate simulates exactly that: a managed virtual allocation with a
+//! page residency set bounded by available device bytes, FIFO eviction, and
+//! cycle charges for faults, migrations, and prefault initialization. It
+//! stores no data — the *functional* metadata lives in the detector; this
+//! models where the pages live and what touching them costs.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashSet, VecDeque};
+
+/// Cost parameters of the simulated UVM driver (cycles).
+#[derive(Debug, Clone)]
+pub struct UvmConfig {
+    /// Migration granularity. Real UVM migrates in 64 KiB–2 MiB blocks; we
+    /// use 2 MiB, the large-page size the driver prefers for streaming.
+    pub page_bytes: u64,
+    /// GPU page-fault service cost (fault + map + copy) per page.
+    pub fault_cost: u64,
+    /// Additional cost when servicing a fault requires evicting a victim
+    /// page back to the host first (memory oversubscription).
+    pub evict_cost: u64,
+    /// Per-page cost of prefaulting via `cudaMemset` at setup — batched and
+    /// pipelined, so much cheaper than a demand fault.
+    pub prefault_cost: u64,
+}
+
+impl Default for UvmConfig {
+    fn default() -> Self {
+        UvmConfig {
+            page_bytes: 2 << 20,
+            fault_cost: 60,
+            evict_cost: 90,
+            prefault_cost: 3,
+        }
+    }
+}
+
+/// Outcome of touching one address of a managed allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Touch {
+    /// Page already resident on the device: free.
+    Hit,
+    /// Page faulted in; carries the cycle cost charged.
+    Fault { cycles: u64 },
+}
+
+impl Touch {
+    /// Cycles this touch cost.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        match self {
+            Touch::Hit => 0,
+            Touch::Fault { cycles } => *cycles,
+        }
+    }
+}
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UvmStats {
+    /// Demand faults serviced.
+    pub faults: u64,
+    /// Faults that additionally evicted a victim page.
+    pub evictions: u64,
+    /// Pages prefaulted at setup.
+    pub prefaulted_pages: u64,
+    /// Total cycles charged for faults + evictions.
+    pub fault_cycles: u64,
+    /// Total cycles charged for prefaulting.
+    pub prefault_cycles: u64,
+}
+
+/// One `cudaMallocManaged` region with demand-paged device residency.
+///
+/// Residency is bounded by `device_budget_bytes`: the device memory left
+/// over after the application's own allocations. Exceeding it triggers
+/// FIFO eviction — the graceful-degradation regime of Figure 14.
+#[derive(Debug)]
+pub struct ManagedRegion {
+    cfg: UvmConfig,
+    len_bytes: u64,
+    device_budget_pages: u64,
+    resident: HashSet<u64>,
+    fifo: VecDeque<u64>,
+    stats: UvmStats,
+}
+
+impl ManagedRegion {
+    /// Allocates `len_bytes` of *virtual* space. Nothing is resident yet,
+    /// exactly like `cudaMallocManaged` (§6.1: "it only allocates virtual
+    /// addresses").
+    #[must_use]
+    pub fn new(cfg: UvmConfig, len_bytes: u64, device_budget_bytes: u64) -> Self {
+        let device_budget_pages = device_budget_bytes / cfg.page_bytes;
+        ManagedRegion {
+            cfg,
+            len_bytes,
+            device_budget_pages,
+            resident: HashSet::new(),
+            fifo: VecDeque::new(),
+            stats: UvmStats::default(),
+        }
+    }
+
+    /// Virtual length of the region.
+    #[must_use]
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// Total pages spanned by the region.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.len_bytes.div_ceil(self.cfg.page_bytes)
+    }
+
+    /// Pages currently resident on the device.
+    #[must_use]
+    pub fn resident_pages(&self) -> u64 {
+        self.resident.len() as u64
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> UvmStats {
+        self.stats
+    }
+
+    /// Prefaults up to `max_bytes` of the region onto the device (the
+    /// `cudaMemset` warm-up iGUARD performs when free memory allows).
+    /// Returns the cycle cost to charge as *setup* time.
+    pub fn prefault(&mut self, max_bytes: u64) -> u64 {
+        let want = max_bytes.min(self.len_bytes).div_ceil(self.cfg.page_bytes);
+        let mut cycles = 0;
+        for page in 0..want {
+            if self.resident.len() as u64 >= self.device_budget_pages {
+                break;
+            }
+            if self.resident.insert(page) {
+                self.fifo.push_back(page);
+                self.stats.prefaulted_pages += 1;
+                cycles += self.cfg.prefault_cost;
+            }
+        }
+        self.stats.prefault_cycles += cycles;
+        cycles
+    }
+
+    /// Touches `offset` (a byte offset into the region), faulting the page
+    /// in if necessary. Returns what happened and what it cost.
+    ///
+    /// # Panics
+    /// Panics if `offset` is beyond the allocation — touching unmapped
+    /// managed memory is a tool bug, not a runtime condition.
+    pub fn touch(&mut self, offset: u64) -> Touch {
+        assert!(
+            offset < self.len_bytes,
+            "touch at {offset} beyond region of {} B",
+            self.len_bytes
+        );
+        let page = offset / self.cfg.page_bytes;
+        if self.resident.contains(&page) {
+            return Touch::Hit;
+        }
+        let mut cycles = self.cfg.fault_cost;
+        self.stats.faults += 1;
+        if self.device_budget_pages == 0 {
+            // Nothing fits on-device: every touch is a remote access; the
+            // page never becomes resident (pathological oversubscription).
+            cycles += self.cfg.evict_cost;
+            self.stats.evictions += 1;
+            self.stats.fault_cycles += cycles;
+            return Touch::Fault { cycles };
+        }
+        if self.resident.len() as u64 >= self.device_budget_pages {
+            let victim = self.fifo.pop_front().expect("resident set non-empty");
+            self.resident.remove(&victim);
+            self.stats.evictions += 1;
+            cycles += self.cfg.evict_cost;
+        }
+        self.resident.insert(page);
+        self.fifo.push_back(page);
+        self.stats.fault_cycles += cycles;
+        Touch::Fault { cycles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> UvmConfig {
+        UvmConfig {
+            page_bytes: 4096,
+            fault_cost: 100,
+            evict_cost: 150,
+            prefault_cost: 10,
+        }
+    }
+
+    #[test]
+    fn allocation_is_virtual_only() {
+        let r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20);
+        assert_eq!(r.resident_pages(), 0);
+        assert_eq!(r.total_pages(), 256);
+    }
+
+    #[test]
+    fn first_touch_faults_then_hits() {
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20);
+        assert_eq!(r.touch(0), Touch::Fault { cycles: 100 });
+        assert_eq!(r.touch(8), Touch::Hit);
+        assert_eq!(r.touch(4095), Touch::Hit);
+        assert_eq!(r.touch(4096), Touch::Fault { cycles: 100 });
+        assert_eq!(r.stats().faults, 2);
+    }
+
+    #[test]
+    fn prefault_makes_touches_free() {
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20);
+        let setup = r.prefault(u64::MAX);
+        assert_eq!(setup, 256 * 10);
+        assert_eq!(r.stats().prefaulted_pages, 256);
+        for page in 0..256u64 {
+            assert_eq!(r.touch(page * 4096), Touch::Hit);
+        }
+        assert_eq!(r.stats().faults, 0);
+    }
+
+    #[test]
+    fn prefault_is_bounded_by_device_budget() {
+        // Budget of 8 pages; region of 256 pages.
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 8 * 4096);
+        r.prefault(u64::MAX);
+        assert_eq!(r.resident_pages(), 8);
+    }
+
+    #[test]
+    fn oversubscription_evicts_fifo() {
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 2 * 4096);
+        assert!(matches!(r.touch(0), Touch::Fault { cycles: 100 }));
+        assert!(matches!(r.touch(4096), Touch::Fault { cycles: 100 }));
+        // Third page evicts page 0 (FIFO): fault + evict cost.
+        assert_eq!(r.touch(2 * 4096), Touch::Fault { cycles: 250 });
+        assert_eq!(r.stats().evictions, 1);
+        // Page 0 must fault again (and evict page 1).
+        assert_eq!(r.touch(0), Touch::Fault { cycles: 250 });
+    }
+
+    #[test]
+    fn zero_budget_never_becomes_resident() {
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 0);
+        assert!(matches!(r.touch(0), Touch::Fault { .. }));
+        assert!(matches!(r.touch(0), Touch::Fault { .. }));
+        assert_eq!(r.resident_pages(), 0);
+        assert_eq!(r.stats().evictions, 2);
+    }
+
+    #[test]
+    fn partial_prefault_respects_byte_limit() {
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20);
+        r.prefault(10 * 4096);
+        assert_eq!(r.resident_pages(), 10);
+        assert_eq!(r.touch(0), Touch::Hit);
+        assert!(matches!(r.touch(11 * 4096), Touch::Fault { .. }));
+    }
+
+    #[test]
+    fn stats_accumulate_cycles() {
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 4096);
+        let _ = r.touch(0);
+        let _ = r.touch(4096); // evicts
+        let s = r.stats();
+        assert_eq!(s.fault_cycles, 100 + 250);
+        assert_eq!(s.faults, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond region")]
+    fn touch_beyond_region_panics() {
+        let mut r = ManagedRegion::new(cfg(), 4096, 1 << 20);
+        let _ = r.touch(4096);
+    }
+
+    #[test]
+    fn touch_cycles_accessor() {
+        assert_eq!(Touch::Hit.cycles(), 0);
+        assert_eq!(Touch::Fault { cycles: 7 }.cycles(), 7);
+    }
+}

@@ -1,0 +1,363 @@
+//! Cooperative-Groups workloads: the CG-suite samples `conjugGMB` and
+//! `reduceMB` (1 CG race each), the NVlib_CG `grid_sync` kernel (the
+//! Figure 10 bug NVIDIA filed an internal report for), and the race-free
+//! `warpAA` (warp-aggregated atomics) sample from Table 5.
+//!
+//! All CG kernels are Barracuda-unsupported: the CG primitives rely on ITS
+//! (`__syncwarp`) which it cannot model (§7.1).
+
+use gpu_sim::asm::KernelBuilder;
+use gpu_sim::ir::{AtomOp, Scope, Special};
+use gpu_sim::machine::Gpu;
+
+use crate::util::{addr, grid_sync, tree_reduce_block};
+use crate::{BarracudaExpectation, Launch, RaceTag, Size, Suite, Workload};
+
+fn dims(size: Size) -> (u32, u32) {
+    match size {
+        Size::Test => (4, 64),
+        Size::Bench => (16, 128),
+    }
+}
+
+/// The racey CG workloads of Table 4.
+pub fn racey_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "conjugGMB",
+            suite: Suite::Cg,
+            build: conjug_gmb,
+            multi_file: false,
+            contention_heavy: true,
+            paper_races: 1,
+            tags: &[RaceTag::CG],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "reduceMB",
+            suite: Suite::Cg,
+            build: reduce_mb,
+            multi_file: false,
+            contention_heavy: false,
+            paper_races: 1,
+            tags: &[RaceTag::CG],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "grid_sync",
+            suite: Suite::NvlibCg,
+            build: nvlib_grid_sync,
+            multi_file: false,
+            contention_heavy: false,
+            paper_races: 1,
+            tags: &[RaceTag::DR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+    ]
+}
+
+/// The race-free CG workload of Table 5.
+pub fn clean_workloads() -> Vec<Workload> {
+    vec![Workload {
+        name: "warpAA",
+        suite: Suite::Cg,
+        build: warp_aa,
+        multi_file: false,
+        contention_heavy: true,
+        paper_races: 0,
+        tags: &[],
+        barracuda: BarracudaExpectation::Unsupported,
+    }]
+}
+
+/// Marks the kernel as CG-library code: the primitives use `__syncwarp`
+/// internally, which is what trips Barracuda's front end.
+fn cg_preamble(b: &mut KernelBuilder) {
+    b.loc("cg::coalesced_threads().sync()");
+    b.syncwarp();
+}
+
+/// Multi-block conjugate gradient: every thread writes a dot-product
+/// partial, the grid "synchronizes" with the buggy leader-only-fence sync
+/// of Figure 10, then rank 0 combines the partials. The combine read races
+/// with every non-leader partial write (1 CG/DR site).
+fn conjug_gmb(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    // Conjugate gradient iterates: many grid-wide synchronizations per
+    // solve. The repeated spinning on the arrival counters by every
+    // block's leader is the metadata-contention storm of Figure 12
+    // (73728 spinning threads in the paper).
+    let (grid, block, rounds) = match size {
+        Size::Test => (4, 64, 2u32),
+        Size::Bench => (48, 128, 4),
+    };
+    let n = (grid * block) as usize;
+    let partials = gpu.alloc(n).expect("alloc partials");
+    let sync = gpu.alloc(rounds as usize + 1).expect("alloc sync");
+    let out = gpu.alloc(1).expect("alloc out");
+    let mut b = KernelBuilder::new("conjuggmb_kernel");
+    let pp = b.param(0);
+    let psync = b.param(1);
+    let pout = b.param(2);
+    cg_preamble(&mut b);
+    // Every thread computes and stores its dot-product partial.
+    let g = b.special(Special::GlobalTid);
+    let sq = b.mul(g, g);
+    let pa = addr(&mut b, pp, g);
+    b.loc("partials[rank] = dot partial");
+    b.st(pa, 0, sq);
+    // CG iterations: one (buggy) grid sync per round.
+    for round in 0..rounds {
+        let s = b.add(psync, round * 4);
+        grid_sync(&mut b, s, grid, false);
+    }
+    // Rank 0 combines all partials — reads of non-leader writes race.
+    let is0 = b.eq(g, 0u32);
+    let fin = b.fwd_label();
+    b.bra_ifnot(is0, fin);
+    let acc = b.imm(0);
+    let i = b.imm(0);
+    let total = b.imm(grid * block);
+    let top = b.here();
+    let done = b.ge(i, total);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    let ia = addr(&mut b, pp, i);
+    b.loc("combine: out += partials[i]  // unfenced non-leader writes");
+    let v = b.ld(ia, 0);
+    let s = b.add(acc, v);
+    b.mov(acc, s);
+    b.assign_add(i, i, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    b.st(pout, 0, acc);
+    b.bind(fin);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![partials, sync, out],
+    }]
+}
+
+/// Multi-block reduction: blocks tree-reduce, a *non-leader* thread
+/// publishes the block result, the buggy grid sync "orders", and rank 0
+/// combines (1 CG/DR site at the combine read).
+fn reduce_mb(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let data = gpu.alloc(n).expect("alloc data");
+    let block_out = gpu.alloc(grid as usize).expect("alloc block_out");
+    let scratch = gpu.alloc(grid as usize).expect("alloc scratch");
+    let sync = gpu.alloc(1).expect("alloc sync");
+    let out = gpu.alloc(1).expect("alloc out");
+    for i in 0..n {
+        gpu.write(data, i, 1);
+    }
+    let mut b = KernelBuilder::new("reducemb_kernel");
+    let pdata = b.param(0);
+    let pblk = b.param(1);
+    let psync = b.param(2);
+    let pout = b.param(3);
+    let pscratch = b.param(4);
+    cg_preamble(&mut b);
+    // The leader's publish goes to scratch (never read); the *real* block
+    // result is published by thread 1 below, a non-leader the buggy sync's
+    // fence does not cover.
+    tree_reduce_block(&mut b, pdata, pscratch, block_dims_pow2(block));
+    // Thread 1 *also* publishes a copy of the block sum (non-leader write:
+    // the leader-only fence of the buggy sync does not cover it).
+    let tid = b.special(Special::Tid);
+    let bid = b.special(Special::BlockId);
+    let is1 = b.eq(tid, 1u32);
+    let skip = b.fwd_label();
+    b.bra_ifnot(is1, skip);
+    let bdim = b.special(Special::BlockDim);
+    let base_idx = b.mul(bid, bdim);
+    let src = addr(&mut b, pdata, base_idx);
+    let v = b.ld(src, 0);
+    let dst = addr(&mut b, pblk, bid);
+    b.loc("block result published by non-leader");
+    b.st(dst, 0, v);
+    b.bind(skip);
+    grid_sync(&mut b, psync, grid, false);
+    let g = b.special(Special::GlobalTid);
+    let is0 = b.eq(g, 0u32);
+    let fin = b.fwd_label();
+    b.bra_ifnot(is0, fin);
+    let acc = b.imm(0);
+    let i = b.imm(0);
+    let top = b.here();
+    let done = b.ge(i, grid);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    let ia = addr(&mut b, pblk, i);
+    b.loc("combine: out[0] += out[blk]  // Figure 3's final loop");
+    let v = b.ld(ia, 0);
+    let s = b.add(acc, v);
+    b.mov(acc, s);
+    b.assign_add(i, i, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    b.st(pout, 0, acc);
+    b.bind(fin);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![data, block_out, sync, out, scratch],
+    }]
+}
+
+fn block_dims_pow2(block: u32) -> u32 {
+    assert!(block.is_power_of_two());
+    block
+}
+
+/// The NVlib_CG bug, distilled: every thread writes its slot, the library
+/// grid sync runs (leader-only fence), every thread reads a slot written
+/// by another *block*'s non-leader thread (1 DR site at the read).
+fn nvlib_grid_sync(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = grid * block;
+    let data = gpu.alloc(n as usize).expect("alloc data");
+    let sync = gpu.alloc(1).expect("alloc sync");
+    let out = gpu.alloc(n as usize).expect("alloc out");
+    let mut b = KernelBuilder::new("nvlib_gridsync_kernel");
+    let pdata = b.param(0);
+    let psync = b.param(1);
+    let pout = b.param(2);
+    cg_preamble(&mut b);
+    let g = b.special(Special::GlobalTid);
+    let da = addr(&mut b, pdata, g);
+    b.loc("pre-sync write by every thread");
+    b.st(da, 0, g);
+    grid_sync(&mut b, psync, grid, false);
+    // Read the slot one block over: written by a (generally non-leader)
+    // thread whose stores the leader-only fence did not publish.
+    let bdim = b.special(Special::BlockDim);
+    let shifted = b.add(g, bdim);
+    let total = b.imm(n);
+    let idx = b.rem(shifted, total);
+    let ra = addr(&mut b, pdata, idx);
+    b.loc("post-sync read of another block's write  // Figure 10 bug");
+    let v = b.ld(ra, 0);
+    let oa = addr(&mut b, pout, g);
+    b.st(oa, 0, v);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![data, sync, out],
+    }]
+}
+
+/// warpAA: warp-aggregated atomics — each warp synchronizes with
+/// `__syncwarp`, then its leader performs one device-scope `atomicAdd` on
+/// the global counter on behalf of all lanes. Race-free, but every warp in
+/// the grid hammers one counter: the Figure 12 contention pattern.
+fn warp_aa(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let counter = gpu.alloc(1).expect("alloc counter");
+    let out = gpu.alloc((grid * block) as usize).expect("alloc out");
+    let mut b = KernelBuilder::new("warpaa_kernel");
+    let pctr = b.param(0);
+    let pout = b.param(1);
+    // Each thread does private work.
+    let g = b.special(Special::GlobalTid);
+    let h = b.mul(g, 0x9E3779B9u32);
+    let oa = addr(&mut b, pout, g);
+    b.st(oa, 0, h);
+    // Warp-aggregated increment: sync the warp, leader adds 32.
+    let iters = b.imm(0);
+    let top = b.here();
+    let done = b.ge(iters, 4u32);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    b.loc("cg::coalesced_threads().sync()");
+    b.syncwarp();
+    let lane = b.special(Special::LaneId);
+    let is0 = b.eq(lane, 0u32);
+    let skip = b.fwd_label();
+    b.bra_ifnot(is0, skip);
+    let thirty_two = b.imm(32);
+    b.loc("leader atomicAdd on behalf of the warp");
+    let _ = b.atom(AtomOp::Add, Scope::Device, pctr, 0, thirty_two);
+    b.bind(skip);
+    b.assign_add(iters, iters, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![counter, out],
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::machine::GpuConfig;
+
+    #[test]
+    fn cg_kernels_run_natively() {
+        for w in racey_workloads().iter().chain(clean_workloads().iter()) {
+            let mut gpu = Gpu::new(GpuConfig {
+                seed: 3,
+                ..GpuConfig::default()
+            });
+            let launches = w.build(&mut gpu, Size::Test);
+            for l in &launches {
+                gpu.launch(
+                    &l.kernel,
+                    l.grid,
+                    l.block,
+                    &l.params,
+                    &mut gpu_sim::hook::NullHook,
+                )
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            }
+        }
+    }
+
+    #[test]
+    fn conjuggmb_computes_the_sum_despite_racing() {
+        // The execution barrier of the buggy sync still works; only memory
+        // visibility is broken, and the simulator's per-SM caches mean the
+        // combine may read stale values on some schedules — but it must
+        // always terminate and produce *something*.
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 7,
+            ..GpuConfig::default()
+        });
+        let w = &racey_workloads()[0];
+        let launches = w.build(&mut gpu, Size::Test);
+        for l in &launches {
+            gpu.launch(
+                &l.kernel,
+                l.grid,
+                l.block,
+                &l.params,
+                &mut gpu_sim::hook::NullHook,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn all_cg_kernels_contain_syncwarp() {
+        // The property Barracuda's refusal rests on.
+        let mut gpu = Gpu::new(GpuConfig::default());
+        for w in racey_workloads().iter().chain(clean_workloads().iter()) {
+            let launches = w.build(&mut gpu, Size::Test);
+            let any = launches
+                .iter()
+                .any(|l| nvbit_sim::inspect::census(&l.kernel).warp_barriers > 0);
+            assert!(any, "{} must contain __syncwarp", w.name);
+        }
+    }
+}

@@ -1,0 +1,706 @@
+//! CUB (CUDA UnBound) workloads: the racey `cub_gridbar` (grid-barrier
+//! race, acknowledged by the developers) and the twelve race-free
+//! block-level (`b_*`) and device-level (`d_*`) primitives of Table 5.
+//!
+//! All CUB workloads are single-file and free of scoped atomics and
+//! `__syncwarp`, so Barracuda runs every one of them — they are the bulk
+//! of Figure 11(b)'s overhead comparison.
+
+use gpu_sim::asm::KernelBuilder;
+use gpu_sim::ir::{AtomOp, Reg, Scope, Special};
+use gpu_sim::machine::Gpu;
+
+use crate::util::{addr, block_scan, grid_sync, tree_reduce_block};
+use crate::{BarracudaExpectation, Launch, RaceTag, Size, Suite, Workload};
+
+fn dims(size: Size) -> (u32, u32) {
+    match size {
+        Size::Test => (4, 64),
+        Size::Bench => (16, 128),
+    }
+}
+
+/// The racey CUB workload of Table 4.
+pub fn racey_workloads() -> Vec<Workload> {
+    vec![Workload {
+        name: "cub_gridbar",
+        suite: Suite::Cub,
+        build: cub_gridbar,
+        multi_file: false,
+        contention_heavy: false,
+        paper_races: 1,
+        tags: &[RaceTag::DR],
+        barracuda: BarracudaExpectation::Races(1),
+    }]
+}
+
+/// The twelve race-free CUB workloads of Table 5.
+pub fn clean_workloads() -> Vec<Workload> {
+    fn entry(name: &'static str, build: crate::BuildFn) -> Workload {
+        Workload {
+            name,
+            suite: Suite::Cub,
+            build,
+            multi_file: false,
+            contention_heavy: false,
+            paper_races: 0,
+            tags: &[],
+            barracuda: BarracudaExpectation::Races(0),
+        }
+    }
+    vec![
+        entry("b_reduce", b_reduce),
+        entry("b_scan", b_scan),
+        entry("b_radix_sort", b_radix_sort),
+        entry("d_reduce", d_reduce),
+        entry("d_scan", d_scan),
+        entry("d_radix_sort", d_radix_sort),
+        entry("d_sel_if", d_sel_if),
+        entry("d_sel_flag", d_sel_flag),
+        entry("d_sel_uniq", d_sel_uniq),
+        entry("d_part_if", d_part_if),
+        entry("d_part_flag", d_part_flag),
+        entry("d_sort_find", d_sort_find),
+    ]
+}
+
+/// cub_gridbar: CUB's experimental grid barrier with the leader-only-fence
+/// bug (1 DR site at the post-barrier read).
+fn cub_gridbar(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = grid * block;
+    let data = gpu.alloc(n as usize).expect("alloc data");
+    let sync = gpu.alloc(1).expect("alloc sync");
+    let out = gpu.alloc(n as usize).expect("alloc out");
+    let mut b = KernelBuilder::new("cub_gridbar_kernel");
+    let pdata = b.param(0);
+    let psync = b.param(1);
+    let pout = b.param(2);
+    let g = b.special(Special::GlobalTid);
+    let da = addr(&mut b, pdata, g);
+    b.loc("pre-barrier write");
+    b.st(da, 0, g);
+    grid_sync(&mut b, psync, grid, false);
+    let bdim = b.special(Special::BlockDim);
+    let shifted = b.add(g, bdim);
+    let total = b.imm(n);
+    let idx = b.rem(shifted, total);
+    let ra = addr(&mut b, pdata, idx);
+    b.loc("post-barrier read of another block's write");
+    let v = b.ld(ra, 0);
+    let oa = addr(&mut b, pout, g);
+    b.st(oa, 0, v);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![data, sync, out],
+    }]
+}
+
+// ---- block-level primitives ---------------------------------------------
+
+/// b_reduce: per-block tree reduction with barriers.
+fn b_reduce(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let data = gpu.alloc(n).expect("alloc data");
+    let out = gpu.alloc(grid as usize).expect("alloc out");
+    for i in 0..n {
+        gpu.write(data, i, (i % 9) as u32);
+    }
+    let mut b = KernelBuilder::new("b_reduce_kernel");
+    let pdata = b.param(0);
+    let pout = b.param(1);
+    tree_reduce_block(&mut b, pdata, pout, block);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![data, out],
+    }]
+}
+
+/// b_scan: per-block inclusive prefix sum (Hillis–Steele, barriered).
+fn b_scan(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let data = gpu.alloc(n).expect("alloc data");
+    let tmp = gpu.alloc(n).expect("alloc tmp");
+    for i in 0..n {
+        gpu.write(data, i, 1);
+    }
+    let mut b = KernelBuilder::new("b_scan_kernel");
+    let pdata = b.param(0);
+    let ptmp = b.param(1);
+    block_scan(&mut b, pdata, ptmp, block);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![data, tmp],
+    }]
+}
+
+/// Emits a barriered per-block rank sort: each thread reads its key,
+/// barriers, counts the keys in its block that sort before its own, and
+/// scatters to the rank. Cross-thread reads are of host-initialized data
+/// (read-only) and the scattered slots are unique: race-free.
+pub(crate) fn rank_sort_for(b: &mut KernelBuilder, keys: Reg, out: Reg, block: u32) {
+    rank_sort_body(b, keys, out, block);
+}
+
+fn rank_sort_body(b: &mut KernelBuilder, keys: Reg, out: Reg, block: u32) {
+    let tid = b.special(Special::Tid);
+    let bid = b.special(Special::BlockId);
+    let bdim = b.special(Special::BlockDim);
+    let base = b.mul(bid, bdim);
+    let my_idx = b.add(base, tid);
+    let my_a = addr(b, keys, my_idx);
+    let mine = b.ld(my_a, 0);
+    b.syncthreads();
+    // rank = #{j : key[j] < mine  or  (key[j] == mine and j < tid)}.
+    // Each warp starts its sweep at its own offset (as real implementations
+    // do) so warps do not all read the same word at the same time.
+    let rank = b.imm(0);
+    let j = b.imm(0);
+    let warp = b.special(Special::WarpInBlock);
+    let stagger = b.mul(warp, 32u32);
+    let top = b.here();
+    let done = b.ge(j, block);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    let js = b.add(j, stagger);
+    let jp = b.rem(js, block);
+    let ja = b.add(base, jp);
+    let jaddr = addr(b, keys, ja);
+    let kj = b.ld(jaddr, 0);
+    let lt = b.lt(kj, mine);
+    let eq = b.eq(kj, mine);
+    let jlt = b.lt(jp, tid);
+    let tie = b.and(eq, jlt);
+    let before = b.or(lt, tie);
+    let r1 = b.add(rank, before);
+    b.mov(rank, r1);
+    b.assign_add(j, j, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    let dst_idx = b.add(base, rank);
+    let dst = addr(b, out, dst_idx);
+    b.st(dst, 0, mine);
+}
+
+/// b_radix_sort: per-block sort (rank-based; one digit pass per launch in
+/// real CUB — collapsed to a full rank pass here).
+fn b_radix_sort(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let keys = gpu.alloc(n).expect("alloc keys");
+    let out = gpu.alloc(n).expect("alloc out");
+    for i in 0..n {
+        gpu.write(keys, i, ((i * 131) % 251) as u32);
+    }
+    let mut b = KernelBuilder::new("b_radix_sort_kernel");
+    let pkeys = b.param(0);
+    let pout = b.param(1);
+    rank_sort_body(&mut b, pkeys, pout, block);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![keys, out],
+    }]
+}
+
+// ---- device-level primitives ----------------------------------------------
+
+/// d_reduce: block partials then a second single-block combine kernel.
+/// This is the workload Figure 14 scales.
+fn d_reduce(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let data = gpu.alloc(n).expect("alloc data");
+    let partials = gpu
+        .alloc(grid.next_power_of_two() as usize)
+        .expect("alloc partials");
+    let out = gpu.alloc(1).expect("alloc out");
+    for i in 0..n {
+        gpu.write(data, i, 1);
+    }
+    // Kernel 1: per-block tree reduction into partials.
+    let mut k1 = KernelBuilder::new("d_reduce_pass1");
+    let pdata = k1.param(0);
+    let ppart = k1.param(1);
+    tree_reduce_block(&mut k1, pdata, ppart, block);
+    // Kernel 2: one block combines the partials.
+    let mut k2 = KernelBuilder::new("d_reduce_pass2");
+    let ppart2 = k2.param(0);
+    let pout = k2.param(1);
+    let tid = k2.special(Special::Tid);
+    let is0 = k2.eq(tid, 0u32);
+    let fin = k2.fwd_label();
+    k2.bra_ifnot(is0, fin);
+    let acc = k2.imm(0);
+    let i = k2.imm(0);
+    let top = k2.here();
+    let done = k2.ge(i, grid);
+    let exit_l = k2.fwd_label();
+    k2.bra_if(done, exit_l);
+    let ia = addr(&mut k2, ppart2, i);
+    let v = k2.ld(ia, 0);
+    let s = k2.add(acc, v);
+    k2.mov(acc, s);
+    k2.assign_add(i, i, 1u32);
+    k2.bra(top);
+    k2.bind(exit_l);
+    k2.st(pout, 0, acc);
+    k2.bind(fin);
+    vec![
+        Launch {
+            kernel: k1.build(),
+            grid,
+            block,
+            params: vec![data, partials],
+        },
+        Launch {
+            kernel: k2.build(),
+            grid: 1,
+            block: 32,
+            params: vec![partials, out],
+        },
+    ]
+}
+
+/// d_scan: block scans + block-totals scan + offset add (three kernels,
+/// ordered by the implicit inter-kernel barrier).
+fn d_scan(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let data = gpu.alloc(n).expect("alloc data");
+    let tmp = gpu.alloc(n).expect("alloc tmp");
+    let totals = gpu.alloc(grid as usize).expect("alloc totals");
+    for i in 0..n {
+        gpu.write(data, i, 1);
+    }
+    // Kernel 1: in-block scan; leader stores the block total.
+    let mut k1 = KernelBuilder::new("d_scan_pass1");
+    let pdata = k1.param(0);
+    let ptmp = k1.param(1);
+    let ptot = k1.param(2);
+    block_scan(&mut k1, pdata, ptmp, block);
+    let tid = k1.special(Special::Tid);
+    let bid = k1.special(Special::BlockId);
+    let bdim = k1.special(Special::BlockDim);
+    let last = k1.sub(bdim, 1u32);
+    let is_last = k1.eq(tid, last);
+    let fin = k1.fwd_label();
+    k1.bra_ifnot(is_last, fin);
+    // log2(block) is even for 64/128? 64→6 rounds (even: result in data);
+    // 128→7 rounds (odd: result in tmp). Read from the right buffer.
+    let rounds = block.trailing_zeros();
+    let src = if rounds % 2 == 0 { pdata } else { ptmp };
+    let base = k1.mul(bid, bdim);
+    let my_idx = k1.add(base, tid);
+    let ma = addr(&mut k1, src, my_idx);
+    let total = k1.ld(ma, 0);
+    let ta = addr(&mut k1, ptot, bid);
+    k1.st(ta, 0, total);
+    k1.bind(fin);
+    // Kernel 2: single warp scans the block totals serially (leader).
+    let mut k2 = KernelBuilder::new("d_scan_pass2");
+    let ptot2 = k2.param(0);
+    let tid2 = k2.special(Special::Tid);
+    let is0 = k2.eq(tid2, 0u32);
+    let fin2 = k2.fwd_label();
+    k2.bra_ifnot(is0, fin2);
+    let acc = k2.imm(0);
+    let i = k2.imm(0);
+    let top = k2.here();
+    let done = k2.ge(i, grid);
+    let exit_l = k2.fwd_label();
+    k2.bra_if(done, exit_l);
+    let ia = addr(&mut k2, ptot2, i);
+    let v = k2.ld(ia, 0);
+    let s = k2.add(acc, v);
+    k2.mov(acc, s);
+    k2.st(ia, 0, acc);
+    k2.assign_add(i, i, 1u32);
+    k2.bra(top);
+    k2.bind(exit_l);
+    k2.bind(fin2);
+    // Kernel 3: add the previous blocks' total to each element.
+    let mut k3 = KernelBuilder::new("d_scan_pass3");
+    let pdata3 = k3.param(0);
+    let ptmp3 = k3.param(1);
+    let ptot3 = k3.param(2);
+    let g = k3.special(Special::GlobalTid);
+    let bid3 = k3.special(Special::BlockId);
+    let rounds = block.trailing_zeros();
+    let src3 = if rounds % 2 == 0 { pdata3 } else { ptmp3 };
+    let ea = addr(&mut k3, src3, g);
+    let v = k3.ld(ea, 0);
+    let isb0 = k3.eq(bid3, 0u32);
+    let store_l = k3.fwd_label();
+    let sum = k3.reg();
+    k3.mov(sum, v);
+    k3.bra_if(isb0, store_l);
+    let prev = k3.sub(bid3, 1u32);
+    let pa = addr(&mut k3, ptot3, prev);
+    let off = k3.ld(pa, 0);
+    let v2 = k3.add(v, off);
+    k3.mov(sum, v2);
+    k3.bind(store_l);
+    let oa = addr(&mut k3, pdata3, g);
+    k3.st(oa, 0, sum);
+    vec![
+        Launch {
+            kernel: k1.build(),
+            grid,
+            block,
+            params: vec![data, tmp, totals],
+        },
+        Launch {
+            kernel: k2.build(),
+            grid: 1,
+            block: 32,
+            params: vec![totals],
+        },
+        Launch {
+            kernel: k3.build(),
+            grid,
+            block,
+            params: vec![data, tmp, totals],
+        },
+    ]
+}
+
+/// d_radix_sort: digit histogram (device atomics) then a rank scatter in a
+/// second kernel (reads are ordered by the kernel boundary).
+fn d_radix_sort(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = grid * block;
+    let keys = gpu.alloc(n as usize).expect("alloc keys");
+    let hist = gpu.alloc(16).expect("alloc hist");
+    let out = gpu.alloc(n as usize).expect("alloc out");
+    for i in 0..n as usize {
+        gpu.write(keys, i, ((i * 37) % 97) as u32);
+    }
+    // Kernel 1: 4-bit digit histogram.
+    let mut k1 = KernelBuilder::new("d_radix_pass1");
+    let pkeys = k1.param(0);
+    let phist = k1.param(1);
+    let g = k1.special(Special::GlobalTid);
+    let ka = addr(&mut k1, pkeys, g);
+    let key = k1.ld(ka, 0);
+    let digit = k1.and(key, 15u32);
+    let ha = addr(&mut k1, phist, digit);
+    let one = k1.imm(1);
+    let _ = k1.atom(AtomOp::Add, Scope::Device, ha, 0, one);
+    // Kernel 2: per-block rank scatter (one digit pass of the real
+    // algorithm, block-local like CUB's upsweep tiles).
+    let mut k2 = KernelBuilder::new("d_radix_pass2");
+    let pkeys2 = k2.param(0);
+    let pout = k2.param(1);
+    rank_sort_body(&mut k2, pkeys2, pout, block);
+    let _ = n;
+    vec![
+        Launch {
+            kernel: k1.build(),
+            grid,
+            block,
+            params: vec![keys, hist],
+        },
+        Launch {
+            kernel: k2.build(),
+            grid,
+            block,
+            params: vec![keys, out],
+        },
+    ]
+}
+
+/// Shared body for the select/partition family: scatter through
+/// device-scope atomic cursors (safe by P6; output slots are unique).
+///
+/// `mode`: 0 = keep-if-predicate, 1 = keep-if-flag, 2 = keep-if-unique,
+/// 3 = partition-by-predicate, 4 = partition-by-flag.
+fn compaction(gpu: &mut Gpu, size: Size, name: &'static str, mode: u32) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let input = gpu.alloc(n).expect("alloc in");
+    let flags = gpu.alloc(n).expect("alloc flags");
+    let out = gpu.alloc(n).expect("alloc out");
+    let rejected = gpu.alloc(n).expect("alloc rejected");
+    let cursors = gpu.alloc(2).expect("alloc cursors");
+    for i in 0..n {
+        gpu.write(input, i, ((i * 53) % 127) as u32);
+        gpu.write(flags, i, u32::from(i % 3 == 0));
+    }
+    let mut b = KernelBuilder::new(name);
+    let pin = b.param(0);
+    let pflags = b.param(1);
+    let pout = b.param(2);
+    let prej = b.param(3);
+    let pcur = b.param(4);
+    let g = b.special(Special::GlobalTid);
+    let ia = addr(&mut b, pin, g);
+    let v = b.ld(ia, 0);
+    // keep = predicate by mode.
+    let keep = match mode {
+        0 | 3 => {
+            // predicate: v is even
+            let bit = b.and(v, 1u32);
+            b.eq(bit, 0u32)
+        }
+        1 | 4 => {
+            let fa = addr(&mut b, pflags, g);
+            b.ld(fa, 0)
+        }
+        2 => {
+            // unique: input[g] != input[g-1] (g==0 keeps)
+            let is0 = b.eq(g, 0u32);
+            let keep_r = b.reg();
+            b.mov(keep_r, 1u32);
+            let fin = b.fwd_label();
+            b.bra_if(is0, fin);
+            let prev_i = b.sub(g, 1u32);
+            let pa = addr(&mut b, pin, prev_i);
+            let pv = b.ld(pa, 0);
+            let ne = b.ne(v, pv);
+            b.mov(keep_r, ne);
+            b.bind(fin);
+            keep_r
+        }
+        _ => unreachable!("mode"),
+    };
+    let one = b.imm(1);
+    let keep_l = b.fwd_label();
+    let done_l = b.fwd_label();
+    b.bra_if(keep, keep_l);
+    if mode >= 3 {
+        // partition: rejected side also scattered.
+        let slot = b.atom(AtomOp::Add, Scope::Device, pcur, 1, one);
+        let ra = addr(&mut b, prej, slot);
+        b.st(ra, 0, v);
+    }
+    b.bra(done_l);
+    b.bind(keep_l);
+    let slot = b.atom(AtomOp::Add, Scope::Device, pcur, 0, one);
+    let oa = addr(&mut b, pout, slot);
+    b.st(oa, 0, v);
+    b.bind(done_l);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![input, flags, out, rejected, cursors],
+    }]
+}
+
+fn d_sel_if(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    compaction(gpu, size, "d_sel_if_kernel", 0)
+}
+
+fn d_sel_flag(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    compaction(gpu, size, "d_sel_flag_kernel", 1)
+}
+
+fn d_sel_uniq(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    compaction(gpu, size, "d_sel_uniq_kernel", 2)
+}
+
+fn d_part_if(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    compaction(gpu, size, "d_part_if_kernel", 3)
+}
+
+fn d_part_flag(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    compaction(gpu, size, "d_part_flag_kernel", 4)
+}
+
+/// d_sort_find: per-block rank sort (kernel 1) then a binary search over
+/// each block's sorted slice (kernel 2, read-only).
+fn d_sort_find(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = grid * block;
+    let mut launches = d_radix_sort_inner(gpu, grid, block, n);
+    let sorted = launches.last().expect("sort pass").params[1];
+    let found = gpu.alloc(n as usize).expect("alloc found");
+    let mut k3 = KernelBuilder::new("d_find_pass");
+    let psorted = k3.param(0);
+    let pfound = k3.param(1);
+    let g = k3.special(Special::GlobalTid);
+    // Binary search for (g*3 % 97) over the block's sorted slice.
+    let g3 = k3.mul(g, 3u32);
+    let needle = k3.rem(g3, 97u32);
+    let bid = k3.special(Special::BlockId);
+    let bdim = k3.special(Special::BlockDim);
+    let base = k3.mul(bid, bdim);
+    let lo = k3.reg();
+    k3.mov(lo, base);
+    let hi = k3.add(base, bdim);
+    let top = k3.here();
+    let exit_l = k3.fwd_label();
+    let cont = k3.lt(lo, hi);
+    k3.bra_ifnot(cont, exit_l);
+    let sum = k3.add(lo, hi);
+    let mid = k3.shr(sum, 1u32);
+    let ma = addr(&mut k3, psorted, mid);
+    let mv = k3.ld(ma, 0);
+    let less = k3.lt(mv, needle);
+    let go_hi = k3.fwd_label();
+    let after = k3.fwd_label();
+    k3.bra_if(less, go_hi);
+    k3.mov(hi, mid);
+    k3.bra(after);
+    k3.bind(go_hi);
+    let mid1 = k3.add(mid, 1u32);
+    k3.mov(lo, mid1);
+    k3.bind(after);
+    k3.bra(top);
+    k3.bind(exit_l);
+    let fa = addr(&mut k3, pfound, g);
+    k3.st(fa, 0, lo);
+    launches.push(Launch {
+        kernel: k3.build(),
+        grid,
+        block,
+        params: vec![sorted, found],
+    });
+    launches
+}
+
+fn d_radix_sort_inner(gpu: &mut Gpu, grid: u32, block: u32, n: u32) -> Vec<Launch> {
+    let keys = gpu.alloc(n as usize).expect("alloc keys");
+    let out = gpu.alloc(n as usize).expect("alloc out");
+    for i in 0..n as usize {
+        gpu.write(keys, i, ((i * 37) % 97) as u32);
+    }
+    let mut k2 = KernelBuilder::new("d_sortfind_rank");
+    let pkeys2 = k2.param(0);
+    let pout = k2.param(1);
+    rank_sort_body(&mut k2, pkeys2, pout, block);
+    vec![Launch {
+        kernel: k2.build(),
+        grid,
+        block,
+        params: vec![keys, out],
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::hook::NullHook;
+    use gpu_sim::machine::GpuConfig;
+
+    fn run(w: &Workload) -> Gpu {
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 3,
+            ..GpuConfig::default()
+        });
+        let launches = w.build(&mut gpu, Size::Test);
+        for l in &launches {
+            gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        }
+        gpu
+    }
+
+    #[test]
+    fn all_cub_workloads_run_natively() {
+        for w in racey_workloads().iter().chain(clean_workloads().iter()) {
+            let _ = run(w);
+        }
+    }
+
+    #[test]
+    fn d_reduce_computes_the_sum() {
+        let w = crate::by_name("d_reduce").unwrap();
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 9,
+            ..GpuConfig::default()
+        });
+        let launches = w.build(&mut gpu, Size::Test);
+        for l in &launches {
+            gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
+                .unwrap();
+        }
+        let out = launches[1].params[1];
+        assert_eq!(gpu.read(out, 0), 4 * 64, "sum of 256 ones");
+    }
+
+    #[test]
+    fn d_scan_computes_prefix_sums() {
+        let w = crate::by_name("d_scan").unwrap();
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 9,
+            ..GpuConfig::default()
+        });
+        let launches = w.build(&mut gpu, Size::Test);
+        for l in &launches {
+            gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
+                .unwrap();
+        }
+        let data = launches[0].params[0];
+        let n = 4 * 64;
+        let got = gpu.read_slice(data, n);
+        let expect: Vec<u32> = (1..=n as u32).collect();
+        assert_eq!(got, expect, "inclusive scan of all-ones");
+    }
+
+    #[test]
+    fn b_radix_sort_sorts_each_block() {
+        let w = crate::by_name("b_radix_sort").unwrap();
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 9,
+            ..GpuConfig::default()
+        });
+        let launches = w.build(&mut gpu, Size::Test);
+        for l in &launches {
+            gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
+                .unwrap();
+        }
+        let out = launches[0].params[1];
+        for blk in 0..4 {
+            let slice = gpu.read_slice(out + (blk * 64 * 4) as u32, 64);
+            let mut sorted = slice.clone();
+            sorted.sort_unstable();
+            assert_eq!(slice, sorted, "block {blk} must be sorted");
+        }
+    }
+
+    #[test]
+    fn compaction_outputs_every_kept_element() {
+        let w = crate::by_name("d_sel_if").unwrap();
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 9,
+            ..GpuConfig::default()
+        });
+        let launches = w.build(&mut gpu, Size::Test);
+        for l in &launches {
+            gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
+                .unwrap();
+        }
+        let input = launches[0].params[0];
+        let out = launches[0].params[2];
+        let cursors = launches[0].params[4];
+        let n = 256;
+        let kept = gpu.read(cursors, 0) as usize;
+        let expect: Vec<u32> = gpu
+            .read_slice(input, n)
+            .into_iter()
+            .filter(|v| v % 2 == 0)
+            .collect();
+        assert_eq!(kept, expect.len());
+        let mut got = gpu.read_slice(out, kept);
+        got.sort_unstable();
+        let mut want = expect;
+        want.sort_unstable();
+        assert_eq!(got, want, "every kept element appears exactly once");
+    }
+}

@@ -1,0 +1,91 @@
+//! cuML (RAPIDS machine learning): `cuML_gsync`, the grid-sync
+//! implementation in which iGUARD found the same leader-only-fence DR race
+//! as in NVIDIA's CG library (§7.1, acknowledged by the developers).
+//! Multi-file library; Figure 12 contention-heavy member (all blocks spin
+//! on the arrival counter).
+
+use gpu_sim::asm::KernelBuilder;
+use gpu_sim::ir::Special;
+use gpu_sim::machine::Gpu;
+
+use crate::util::{addr, grid_sync};
+use crate::{BarracudaExpectation, Launch, RaceTag, Size, Suite, Workload};
+
+/// The cuML workload of Table 4.
+pub fn workloads() -> Vec<Workload> {
+    vec![Workload {
+        name: "cuML_gsync",
+        suite: Suite::CuMl,
+        build: cuml_gsync,
+        multi_file: true,
+        contention_heavy: true,
+        paper_races: 1,
+        tags: &[RaceTag::DR],
+        barracuda: BarracudaExpectation::Unsupported,
+    }]
+}
+
+/// Two-phase centroid update: every thread writes a partial, the cuML
+/// grid sync runs (leader-only fence — the acknowledged bug), then each
+/// block's threads read the partials of the next block (1 DR site).
+fn cuml_gsync(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = match size {
+        Size::Test => (4, 64),
+        Size::Bench => (24, 128),
+    };
+    let n = grid * block;
+    let partials = gpu.alloc(n as usize).expect("alloc partials");
+    let sync = gpu.alloc(1).expect("alloc sync");
+    let out = gpu.alloc(n as usize).expect("alloc out");
+    let mut b = KernelBuilder::new("cuml_gsync_kernel");
+    let pp = b.param(0);
+    let psync = b.param(1);
+    let pout = b.param(2);
+    let g = b.special(Special::GlobalTid);
+    let v = b.mul(g, 7u32);
+    let pa = addr(&mut b, pp, g);
+    b.loc("phase 1: partial centroid sum");
+    b.st(pa, 0, v);
+    grid_sync(&mut b, psync, grid, false);
+    let bdim = b.special(Special::BlockDim);
+    let shifted = b.add(g, bdim);
+    let total = b.imm(n);
+    let idx = b.rem(shifted, total);
+    let ra = addr(&mut b, pp, idx);
+    b.loc("phase 2: read next block's partial  // unfenced");
+    let got = b.ld(ra, 0);
+    let oa = addr(&mut b, pout, g);
+    b.st(oa, 0, got);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![partials, sync, out],
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::machine::GpuConfig;
+
+    #[test]
+    fn cuml_gsync_runs_natively() {
+        let w = &workloads()[0];
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 3,
+            ..GpuConfig::default()
+        });
+        for l in &w.build(&mut gpu, Size::Test) {
+            gpu.launch(
+                &l.kernel,
+                l.grid,
+                l.block,
+                &l.params,
+                &mut gpu_sim::hook::NullHook,
+            )
+            .unwrap();
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Gunrock workloads (§7.1: 7700+ LOC graph framework; iGUARD found 7
+//! races, 3 acknowledged). We reproduce the three applications of Table 4:
+//! `louvain` (3 ITS races), `pr_nibble` (1 BR), `sm` (1 BR).
+//!
+//! Gunrock is a multi-file library: Barracuda cannot embed its PTX (§7.1).
+
+use gpu_sim::asm::KernelBuilder;
+use gpu_sim::ir::{AtomOp, Scope, Special};
+use gpu_sim::machine::Gpu;
+
+use crate::util::{addr, busy_work, seed_intra_block, seed_its, work_iters};
+use crate::{BarracudaExpectation, Launch, RaceTag, Size, Suite, Workload};
+
+fn dims(size: Size) -> (u32, u32) {
+    match size {
+        Size::Test => (4, 64),
+        Size::Bench => (16, 128),
+    }
+}
+
+/// The three Gunrock applications of Table 4.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "louvain",
+            suite: Suite::Gunrock,
+            build: louvain,
+            multi_file: true,
+            contention_heavy: false,
+            paper_races: 3,
+            tags: &[RaceTag::ITS],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "pr_nibble",
+            suite: Suite::Gunrock,
+            build: pr_nibble,
+            multi_file: true,
+            contention_heavy: false,
+            paper_races: 1,
+            tags: &[RaceTag::BR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "sm",
+            suite: Suite::Gunrock,
+            build: subgraph_matching,
+            multi_file: true,
+            contention_heavy: false,
+            paper_races: 1,
+            tags: &[RaceTag::BR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+    ]
+}
+
+/// Shared clean core: frontier advance — each thread relaxes its vertex's
+/// neighbour with a device-scope atomicMin (safe).
+fn advance_core(b: &mut KernelBuilder, labels: gpu_sim::ir::Reg) {
+    let g = b.special(Special::GlobalTid);
+    let gd = b.special(Special::GridDim);
+    let bd = b.special(Special::BlockDim);
+    let n = b.mul(gd, bd);
+    let g1 = b.add(g, 1u32);
+    let nb = b.rem(g1, n);
+    let my_a = addr(b, labels, g);
+    let mine = b.ld(my_a, 0);
+    let na = addr(b, labels, nb);
+    let _ = b.atom(AtomOp::Min, Scope::Device, na, 0, mine);
+}
+
+/// Louvain community detection: warp-cooperative modularity accumulation
+/// relying on lockstep that ITS no longer guarantees (3 ITS sites).
+fn louvain(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let warps = grid * block.div_ceil(32);
+    let labels = gpu.alloc(n).expect("alloc labels");
+    let aux = gpu.alloc((3 * warps) as usize + 8).expect("alloc aux");
+    for i in 0..n {
+        gpu.write(labels, i, i as u32);
+    }
+    let mut b = KernelBuilder::new("louvain_kernel");
+    let plabels = b.param(0);
+    let paux = b.param(1);
+    busy_work(&mut b, work_iters(size));
+    advance_core(&mut b, plabels);
+    // Three warp-cooperative accumulation stages, each missing the
+    // __syncwarp that ITS requires (the acknowledged Gunrock bugs).
+    seed_its(&mut b, paux, 0, "louvain modularity gain");
+    seed_its(&mut b, paux, warps, "louvain community weight");
+    seed_its(&mut b, paux, 2 * warps, "louvain vertex move");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![labels, aux],
+    }]
+}
+
+/// pr_nibble (local PageRank): per-block residual staging missing a
+/// barrier (1 BR site).
+fn pr_nibble(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let rank = gpu.alloc(n).expect("alloc rank");
+    let aux = gpu.alloc(grid as usize + 40).expect("alloc aux");
+    for i in 0..n {
+        gpu.write(rank, i, 1000);
+    }
+    let mut b = KernelBuilder::new("prnibble_kernel");
+    let prank = b.param(0);
+    let paux = b.param(1);
+    busy_work(&mut b, work_iters(size));
+    // Clean push: rank[g] = rank[g]/2 (own cell).
+    let g = b.special(Special::GlobalTid);
+    let ra = addr(&mut b, prank, g);
+    let v = b.ld(ra, 0);
+    let half = b.shr(v, 1u32);
+    b.st(ra, 0, half);
+    // The bug: block-shared residual written by two warps, no barrier.
+    seed_intra_block(&mut b, paux, 8, "pr_nibble residual staging");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![rank, aux],
+    }]
+}
+
+/// sm (subgraph matching): per-block candidate-count staging missing a
+/// barrier (1 BR site).
+fn subgraph_matching(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let cand = gpu.alloc(n).expect("alloc candidates");
+    let aux = gpu.alloc(grid as usize + 40).expect("alloc aux");
+    let mut b = KernelBuilder::new("sm_kernel");
+    let pcand = b.param(0);
+    let paux = b.param(1);
+    busy_work(&mut b, work_iters(size));
+    // Clean filter: cand[g] = (hash(g) & 3) == 0.
+    let g = b.special(Special::GlobalTid);
+    let h = b.mul(g, 0x85EBCA6Bu32);
+    let bits = b.and(h, 3u32);
+    let isz = b.eq(bits, 0u32);
+    let ca = addr(&mut b, pcand, g);
+    b.st(ca, 0, isz);
+    // The bug: candidate count staged per block without a barrier.
+    seed_intra_block(&mut b, paux, 8, "sm candidate count");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![cand, aux],
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::machine::GpuConfig;
+
+    #[test]
+    fn gunrock_kernels_run_natively() {
+        for w in workloads() {
+            let mut gpu = Gpu::new(GpuConfig {
+                seed: 3,
+                ..GpuConfig::default()
+            });
+            for l in &w.build(&mut gpu, Size::Test) {
+                gpu.launch(
+                    &l.kernel,
+                    l.grid,
+                    l.block,
+                    &l.params,
+                    &mut gpu_sim::hook::NullHook,
+                )
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            }
+        }
+    }
+
+    #[test]
+    fn gunrock_is_multi_file() {
+        assert!(workloads().iter().all(|w| w.multi_file));
+    }
+}

@@ -1,0 +1,178 @@
+//! Kilo-TM workloads (Fung et al., GPU hardware transactional memory —
+//! its software test applications): `interac` (4 races; Barracuda did not
+//! terminate and missed one) and `hashtable` (2 races; Barracuda found
+//! both). Single-file binaries: Barracuda *can* run these (§7.1).
+
+use gpu_sim::asm::KernelBuilder;
+use gpu_sim::ir::{AtomOp, Scope, Special};
+use gpu_sim::machine::Gpu;
+
+use crate::util::{addr, busy_work, seed_inter_block, seed_intra_block, work_iters};
+use crate::{BarracudaExpectation, Launch, RaceTag, Size, Suite, Workload};
+
+/// The two Kilo-TM applications of Table 4.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "interac",
+            suite: Suite::KiloTm,
+            build: interac,
+            multi_file: false,
+            contention_heavy: false,
+            paper_races: 4,
+            tags: &[RaceTag::BR, RaceTag::DR],
+            barracuda: BarracudaExpectation::Timeout(3),
+        },
+        Workload {
+            name: "hashtable",
+            suite: Suite::KiloTm,
+            build: hashtable,
+            multi_file: false,
+            contention_heavy: false,
+            paper_races: 2,
+            tags: &[RaceTag::DR],
+            barracuda: BarracudaExpectation::Races(2),
+        },
+    ]
+}
+
+/// Bank-interaction transactions: a heavy validate/retry loop floods the
+/// event channel (why Barracuda never finishes), with 2 BR + 2 DR seeded
+/// bugs — the last one placed after the flood, which is the race Barracuda
+/// misses when it times out.
+fn interac(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    // The flood must be heavy enough that a serialized CPU consumer cannot
+    // keep up (Barracuda's non-termination on interac, §7.1).
+    let (grid, block, iters) = match size {
+        Size::Test => (4u32, 64u32, 1500u32),
+        Size::Bench => (16, 128, 800),
+    };
+    let n = (grid * block) as usize;
+    let accounts = gpu.alloc(n).expect("alloc accounts");
+    let version = gpu.alloc(1).expect("alloc version");
+    let aux = gpu.alloc(grid as usize + 72).expect("alloc aux");
+    for i in 0..n {
+        gpu.write(accounts, i, 100);
+    }
+    let mut b = KernelBuilder::new("interac_kernel");
+    let pacc = b.param(0);
+    let pver = b.param(1);
+    let paux = b.param(2);
+    // Early bugs: two unbarriered commit-staging words, one unfenced
+    // global transaction counter.
+    seed_intra_block(&mut b, paux, 8, "interac commit stage A");
+    seed_intra_block(&mut b, paux, 48, "interac commit stage B");
+    seed_inter_block(&mut b, paux, 4, "interac txn counter");
+    // The transactional validate/retry flood: each iteration reads the
+    // account, bumps the global version (device atomic, safe), rewrites
+    // the account (own cell, safe).
+    let g = b.special(Special::GlobalTid);
+    let aa = addr(&mut b, pacc, g);
+    let i = b.imm(0);
+    let top = b.here();
+    let done = b.ge(i, iters);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    let v = b.ld(aa, 0);
+    let one = b.imm(1);
+    b.loc("txn: atomicAdd(version, 1)");
+    let _ = b.atom(AtomOp::Add, Scope::Device, pver, 0, one);
+    let v1 = b.add(v, 1u32);
+    b.st(aa, 0, v1);
+    b.assign_add(i, i, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    // The late bug Barracuda's timeout hides: an unfenced commit flag
+    // published after the flood.
+    seed_inter_block(&mut b, paux, 5, "interac commit flag");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![accounts, version, aux],
+    }]
+}
+
+/// Transactional hash table: device-scope CAS inserts (safe) plus two
+/// unfenced cross-block metadata publications (2 DR sites).
+fn hashtable(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = match size {
+        Size::Test => (4, 64),
+        Size::Bench => (16, 128),
+    };
+    let table = gpu.alloc(512).expect("alloc table");
+    let aux = gpu.alloc(grid as usize + 8).expect("alloc aux");
+    let mut b = KernelBuilder::new("kilotm_hashtable_kernel");
+    let ptable = b.param(0);
+    let paux = b.param(1);
+    busy_work(&mut b, work_iters(size));
+    // Linear probing: read the slot, try to claim it, advance on
+    // collision — eight probes per insert (the real workload's hot loop).
+    let g = b.special(Special::GlobalTid);
+    let h = b.mul(g, 0x9E3779B9u32);
+    let slot = b.rem(h, 512u32);
+    let zero = b.imm(0);
+    let key = b.add(g, 1u32);
+    let probe = b.imm(0);
+    let top = b.here();
+    let done = b.ge(probe, 8u32);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    let sa = addr(&mut b, ptable, slot);
+    let cur = b.ld(sa, 0);
+    let empty = b.eq(cur, 0u32);
+    let advance = b.fwd_label();
+    b.bra_ifnot(empty, advance);
+    b.loc("insert: atomicCAS(table[slot], EMPTY, key)");
+    let old = b.atomic_cas(Scope::Device, sa, 0, zero, key);
+    let won = b.eq(old, 0u32);
+    b.bra_if(won, exit_l);
+    b.bind(advance);
+    let s1 = b.add(slot, 1u32);
+    let wrapped = b.rem(s1, 512u32);
+    b.mov(slot, wrapped);
+    b.assign_add(probe, probe, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    seed_inter_block(&mut b, paux, 4, "hashtable size word");
+    seed_inter_block(&mut b, paux, 5, "hashtable resize flag");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![table, aux],
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::machine::GpuConfig;
+
+    #[test]
+    fn kilotm_kernels_run_natively() {
+        for w in workloads() {
+            let mut gpu = Gpu::new(GpuConfig {
+                seed: 3,
+                ..GpuConfig::default()
+            });
+            for l in &w.build(&mut gpu, Size::Test) {
+                gpu.launch(
+                    &l.kernel,
+                    l.grid,
+                    l.block,
+                    &l.params,
+                    &mut gpu_sim::hook::NullHook,
+                )
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            }
+        }
+    }
+
+    #[test]
+    fn kilotm_is_barracuda_runnable() {
+        assert!(workloads().iter().all(|w| !w.multi_file));
+    }
+}

@@ -1,0 +1,263 @@
+//! # workloads: the paper's evaluation suite, reproduced
+//!
+//! 43 workloads from the 10 suites of Tables 4 and 5 (§7), each rebuilt as
+//! one or more IR kernels that reproduce the original application's
+//! *sharing and synchronization pattern* — including, for the racey half,
+//! the precise bug class the paper reports for it (insufficient atomic
+//! scope, missing `__syncwarp` under ITS, missing barriers or fences,
+//! improper locking, and broken cooperative-group synchronization).
+//!
+//! Race detection observes sharing patterns and synchronization operations,
+//! not application semantics, so each workload is a faithful *pattern*
+//! reproduction at reduced scale rather than a port of thousands of lines
+//! of CUDA; DESIGN.md documents the substitution.
+//!
+//! Every [`Workload`] carries its paper-reported expectations (race count,
+//! race types, Barracuda behaviour) so the test suite and the Table 4/5
+//! harness can assert against them.
+
+#![forbid(unsafe_code)]
+
+pub mod cg;
+pub mod cub;
+pub mod cuml;
+pub mod gunrock;
+pub mod kilotm;
+pub mod lonestar;
+pub mod rodinia;
+pub mod scor;
+pub mod shoc;
+pub mod slabhash;
+pub mod util;
+
+use gpu_sim::kernel::Kernel;
+use gpu_sim::machine::Gpu;
+
+/// Scale at which to build a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Size {
+    /// Small grids for the test suite (fast in debug builds).
+    Test,
+    /// Larger grids for the benchmark harness.
+    Bench,
+}
+
+/// One kernel launch of a built workload.
+#[derive(Debug)]
+pub struct Launch {
+    /// The kernel object ("binary").
+    pub kernel: Kernel,
+    /// Blocks in the grid.
+    pub grid: u32,
+    /// Threads per block.
+    pub block: u32,
+    /// Launch parameters (typically buffer base addresses).
+    pub params: Vec<u32>,
+}
+
+/// Builder signature: allocate buffers on the device, return launches.
+pub type BuildFn = fn(&mut Gpu, Size) -> Vec<Launch>;
+
+/// Race classes as Table 4 reports them. `CG` races manifest as `DR` in
+/// the detector (§6.4: CG has no dedicated checks; its races surface
+/// through the constituent fence/atomic/barrier checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaceTag {
+    /// Improper locking.
+    IL,
+    /// Insufficient atomic scope.
+    AS,
+    /// ITS-induced (missing `__syncwarp`).
+    ITS,
+    /// Intra-block race.
+    BR,
+    /// Inter-block (device) race.
+    DR,
+    /// Cooperative-groups race (reported as DR).
+    CG,
+}
+
+impl RaceTag {
+    /// How the detector reports this tag (CG surfaces as DR).
+    #[must_use]
+    pub fn detector_code(&self) -> &'static str {
+        match self {
+            RaceTag::IL => "IL",
+            RaceTag::AS => "AS",
+            RaceTag::ITS => "ITS",
+            RaceTag::BR => "BR",
+            RaceTag::DR | RaceTag::CG => "DR",
+        }
+    }
+}
+
+/// Paper-reported Barracuda behaviour on a workload (Table 4 / §7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarracudaExpectation {
+    /// Refused before execution (scoped atomics, syncwarp, or multi-file
+    /// PTX).
+    Unsupported,
+    /// Ran and reported this many races.
+    Races(usize),
+    /// Did not terminate; reported this many races before the cutoff.
+    Timeout(usize),
+}
+
+/// Benchmark suite of origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Suite {
+    ScoR,
+    Cg,
+    NvlibCg,
+    Gunrock,
+    Lonestar,
+    SlabHash,
+    CuMl,
+    KiloTm,
+    Shoc,
+    Cub,
+    Rodinia,
+}
+
+impl Suite {
+    /// Display name matching the paper's tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Suite::ScoR => "ScoR",
+            Suite::Cg => "CG",
+            Suite::NvlibCg => "NVlib_CG",
+            Suite::Gunrock => "Gunrock",
+            Suite::Lonestar => "Lonestar",
+            Suite::SlabHash => "SlabHash",
+            Suite::CuMl => "cuML",
+            Suite::KiloTm => "Kilo-TM",
+            Suite::Shoc => "SHoC",
+            Suite::Cub => "CUB",
+            Suite::Rodinia => "Rodinia",
+        }
+    }
+}
+
+/// One workload with its paper-reported expectations.
+pub struct Workload {
+    /// Application name as in Table 4/5.
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// Builder.
+    pub build: BuildFn,
+    /// Packaged as a multi-file library (Barracuda's PTX gate).
+    pub multi_file: bool,
+    /// Member of the Figure 12 contention-heavy subset.
+    pub contention_heavy: bool,
+    /// Races the paper reports for iGUARD (0 ⇒ Table 5 / race-free).
+    pub paper_races: usize,
+    /// Race classes the paper lists.
+    pub tags: &'static [RaceTag],
+    /// Barracuda's paper-reported behaviour.
+    pub barracuda: BarracudaExpectation,
+}
+
+impl Workload {
+    /// Whether the workload is expected to be race-free (Table 5).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.paper_races == 0
+    }
+
+    /// Builds the workload's launches on `gpu`.
+    #[must_use]
+    pub fn build(&self, gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+        (self.build)(gpu, size)
+    }
+
+    /// Borrowed kernels of a built workload (for `barracuda::supports`).
+    #[must_use]
+    pub fn kernels(launches: &[Launch]) -> Vec<&Kernel> {
+        launches.iter().map(|l| &l.kernel).collect()
+    }
+}
+
+/// Every workload: Table 4's racey half followed by Table 5's clean half.
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    let mut v = racey();
+    v.extend(clean());
+    v
+}
+
+/// The racey workloads of Table 4, in table order.
+#[must_use]
+pub fn racey() -> Vec<Workload> {
+    let mut v = Vec::new();
+    v.extend(scor::workloads());
+    v.extend(cg::racey_workloads());
+    v.extend(gunrock::workloads());
+    v.extend(lonestar::workloads());
+    v.extend(slabhash::workloads());
+    v.extend(cuml::workloads());
+    v.extend(kilotm::workloads());
+    v.extend(shoc::racey_workloads());
+    v.extend(cub::racey_workloads());
+    v
+}
+
+/// The race-free workloads of Table 5.
+#[must_use]
+pub fn clean() -> Vec<Workload> {
+    let mut v = Vec::new();
+    v.extend(cub::clean_workloads());
+    v.extend(rodinia::workloads());
+    v.extend(cg::clean_workloads());
+    v
+}
+
+/// Looks a workload up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_and_table5_population() {
+        let racey = racey();
+        let clean = clean();
+        assert_eq!(racey.len(), 22, "Table 4 rows");
+        assert_eq!(clean.len(), 21, "Table 5 apps");
+        assert!(racey.iter().all(|w| !w.is_clean()));
+        assert!(clean.iter().all(Workload::is_clean));
+    }
+
+    #[test]
+    fn paper_total_is_57_races() {
+        let total: usize = racey().iter().map(|w| w.paper_races).sum();
+        assert_eq!(total, 57, "the paper's headline count");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn figure12_subset_has_eight_members() {
+        let n = all().iter().filter(|w| w.contention_heavy).count();
+        assert_eq!(n, 8, "Figure 12 shows eight contention-heavy workloads");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("graph-color").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

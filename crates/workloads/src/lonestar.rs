@@ -1,0 +1,209 @@
+//! LonestarGPU workloads (§7.1: 6400+ LOC irregular-algorithm suite;
+//! iGUARD found 5 races, all acknowledged): `color` (2 BR), `mis`
+//! (1 BR + 1 DR), `cc` (2 BR + 1 DR).
+//!
+//! Multi-file library: Barracuda cannot embed its PTX. `mis` and `cc` are
+//! members of the Figure 12 contention-heavy subset: every thread hammers
+//! a shared worklist cursor with (safe) device-scope atomics.
+
+use gpu_sim::asm::KernelBuilder;
+use gpu_sim::ir::{AtomOp, Reg, Scope, Special};
+use gpu_sim::machine::Gpu;
+
+use crate::util::{addr, busy_work, seed_inter_block, seed_intra_block, work_iters};
+use crate::{BarracudaExpectation, Launch, RaceTag, Size, Suite, Workload};
+
+fn dims(size: Size) -> (u32, u32) {
+    match size {
+        Size::Test => (4, 64),
+        Size::Bench => (16, 128),
+    }
+}
+
+/// The three LonestarGPU applications of Table 4.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "color",
+            suite: Suite::Lonestar,
+            build: color,
+            multi_file: true,
+            contention_heavy: false,
+            paper_races: 2,
+            tags: &[RaceTag::BR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "mis",
+            suite: Suite::Lonestar,
+            build: mis,
+            multi_file: true,
+            contention_heavy: true,
+            paper_races: 2,
+            tags: &[RaceTag::BR, RaceTag::DR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "cc",
+            suite: Suite::Lonestar,
+            build: cc,
+            multi_file: true,
+            contention_heavy: true,
+            paper_races: 3,
+            tags: &[RaceTag::BR, RaceTag::DR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+    ]
+}
+
+/// Clean worklist-cursor hammer: every thread pulls work with a
+/// device-scope `atomicAdd` on one shared cursor — safe (P6) but heavily
+/// contended, which is why `mis`/`cc` appear in Figure 12.
+fn worklist_hammer(b: &mut KernelBuilder, cursor: Reg, rounds: u32) {
+    let i = b.imm(0);
+    let top = b.here();
+    let done = b.ge(i, rounds);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    let one = b.imm(1);
+    b.loc("worklist: atomicAdd(cursor, 1)");
+    let _ = b.atom(AtomOp::Add, Scope::Device, cursor, 0, one);
+    b.assign_add(i, i, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+}
+
+/// Graph coloring (Lonestar variant): two per-block conflict-staging
+/// phases missing barriers (2 BR sites).
+fn color(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let colors = gpu.alloc(n).expect("alloc colors");
+    let aux = gpu.alloc(grid as usize + 72).expect("alloc aux");
+    let mut b = KernelBuilder::new("ls_color_kernel");
+    let pcolors = b.param(0);
+    let paux = b.param(1);
+    busy_work(&mut b, work_iters(size));
+    // Clean: tentative color = hash of vertex id.
+    let g = b.special(Special::GlobalTid);
+    let h = b.mul(g, 0xC2B2AE35u32);
+    let c = b.and(h, 15u32);
+    let ca = addr(&mut b, pcolors, g);
+    b.st(ca, 0, c);
+    // The two acknowledged bugs: conflict flags staged without barriers.
+    seed_intra_block(&mut b, paux, 8, "color conflict flags");
+    seed_intra_block(&mut b, paux, 48, "color retry flags");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![colors, aux],
+    }]
+}
+
+/// Maximal independent set: contended worklist (clean) plus an
+/// unbarriered per-block priority stage (BR) and an unfenced global
+/// convergence flag (DR).
+fn mis(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let state = gpu.alloc(n).expect("alloc state");
+    let cursor = gpu.alloc(1).expect("alloc cursor");
+    let aux = gpu.alloc(grid as usize + 72).expect("alloc aux");
+    let mut b = KernelBuilder::new("ls_mis_kernel");
+    let pstate = b.param(0);
+    let pcursor = b.param(1);
+    let paux = b.param(2);
+    busy_work(&mut b, work_iters(size));
+    let g = b.special(Special::GlobalTid);
+    let h = b.mul(g, 0x27D4EB2Fu32);
+    let sa = addr(&mut b, pstate, g);
+    b.st(sa, 0, h);
+    worklist_hammer(&mut b, pcursor, 6);
+    seed_intra_block(&mut b, paux, 8, "mis priority stage");
+    seed_inter_block(&mut b, paux, 4, "mis converged flag");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![state, cursor, aux],
+    }]
+}
+
+/// Connected components: contended worklist (clean) plus two unbarriered
+/// per-block hook stages (BR ×2) and an unfenced global level value (DR).
+fn cc(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let comp = gpu.alloc(n).expect("alloc comp");
+    let cursor = gpu.alloc(1).expect("alloc cursor");
+    let aux = gpu.alloc(grid as usize + 72).expect("alloc aux");
+    for i in 0..n {
+        gpu.write(comp, i, i as u32);
+    }
+    let mut b = KernelBuilder::new("ls_cc_kernel");
+    let pcomp = b.param(0);
+    let pcursor = b.param(1);
+    let paux = b.param(2);
+    busy_work(&mut b, work_iters(size));
+    // Clean hooking via device atomicMin.
+    let g = b.special(Special::GlobalTid);
+    let gd = b.special(Special::GridDim);
+    let bd = b.special(Special::BlockDim);
+    let nt = b.mul(gd, bd);
+    let g1 = b.add(g, 1u32);
+    let nb = b.rem(g1, nt);
+    let my_a = addr(&mut b, pcomp, g);
+    let mine = b.ld(my_a, 0);
+    let na = addr(&mut b, pcomp, nb);
+    let _ = b.atom(AtomOp::Min, Scope::Device, na, 0, mine);
+    worklist_hammer(&mut b, pcursor, 6);
+    seed_intra_block(&mut b, paux, 8, "cc hook stage A");
+    seed_intra_block(&mut b, paux, 48, "cc hook stage B");
+    seed_inter_block(&mut b, paux, 4, "cc level value");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![comp, cursor, aux],
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::machine::GpuConfig;
+
+    #[test]
+    fn lonestar_kernels_run_natively() {
+        for w in workloads() {
+            let mut gpu = Gpu::new(GpuConfig {
+                seed: 3,
+                ..GpuConfig::default()
+            });
+            for l in &w.build(&mut gpu, Size::Test) {
+                gpu.launch(
+                    &l.kernel,
+                    l.grid,
+                    l.block,
+                    &l.params,
+                    &mut gpu_sim::hook::NullHook,
+                )
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            }
+        }
+    }
+
+    #[test]
+    fn mis_and_cc_are_contention_heavy() {
+        let names: Vec<&str> = workloads()
+            .iter()
+            .filter(|w| w.contention_heavy)
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(names, vec!["mis", "cc"]);
+    }
+}

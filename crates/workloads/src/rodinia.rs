@@ -1,0 +1,473 @@
+//! Rodinia workloads: the eight race-free applications of Table 5
+//! (dwt2d, needle, hotspot, hybridsort, nn, pathfinder, kmeans, srad).
+//! Classic bulk-synchronous patterns: stencils with double buffering,
+//! wavefront DP with per-stage kernel launches, histogram/accumulate with
+//! device atomics — everything correctly synchronized.
+
+use gpu_sim::asm::KernelBuilder;
+use gpu_sim::ir::{AtomOp, Scope, Special};
+use gpu_sim::machine::Gpu;
+
+use crate::util::addr;
+use crate::{BarracudaExpectation, Launch, Size, Suite, Workload};
+
+fn dims(size: Size) -> (u32, u32) {
+    match size {
+        Size::Test => (4, 64),
+        Size::Bench => (16, 128),
+    }
+}
+
+/// The eight Rodinia applications of Table 5.
+pub fn workloads() -> Vec<Workload> {
+    fn entry(name: &'static str, build: crate::BuildFn) -> Workload {
+        Workload {
+            name,
+            suite: Suite::Rodinia,
+            build,
+            multi_file: false,
+            contention_heavy: false,
+            paper_races: 0,
+            tags: &[],
+            barracuda: BarracudaExpectation::Races(0),
+        }
+    }
+    vec![
+        entry("dwt2d", dwt2d),
+        entry("needle", needle),
+        entry("hotspot", hotspot),
+        entry("hybridsort", hybridsort),
+        entry("nn", nn),
+        entry("pathfinder", pathfinder),
+        entry("kmeans", kmeans),
+        entry("srad", srad),
+    ]
+}
+
+/// A double-buffered 1-D stencil pass: `dst[g] = (src[g] + src[g+1] +
+/// src[g+2]) * mul / div`. Successive passes are separate launches, so the
+/// implicit inter-kernel barrier orders them — the hotspot/srad structure.
+fn stencil_pass(name: &str, mul: u32, div: u32) -> gpu_sim::kernel::Kernel {
+    let mut b = KernelBuilder::new(name);
+    let psrc = b.param(0);
+    let pdst = b.param(1);
+    let g = b.special(Special::GlobalTid);
+    let sa = addr(&mut b, psrc, g);
+    let v0 = b.ld(sa, 0);
+    let v1 = b.ld(sa, 1);
+    let v2 = b.ld(sa, 2);
+    let s01 = b.add(v0, v1);
+    let s = b.add(s01, v2);
+    let scaled = b.mul(s, mul);
+    let result = b.div(scaled, div);
+    let g1 = b.add(g, 1u32);
+    let da = addr(&mut b, pdst, g1);
+    b.st(da, 0, result);
+    b.build()
+}
+
+fn stencil_workload(
+    gpu: &mut Gpu,
+    size: Size,
+    name: &'static str,
+    mul: u32,
+    div: u32,
+) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize + 2;
+    let a = gpu.alloc(n).expect("alloc a");
+    let bb = gpu.alloc(n).expect("alloc b");
+    for i in 0..n {
+        gpu.write(a, i, (i % 17) as u32 + 1);
+    }
+    let k1 = stencil_pass(&format!("{name}_pass1"), mul, div);
+    let k2 = stencil_pass(&format!("{name}_pass2"), mul, div);
+    vec![
+        Launch {
+            kernel: k1,
+            grid,
+            block,
+            params: vec![a, bb],
+        },
+        Launch {
+            kernel: k2,
+            grid,
+            block,
+            params: vec![bb, a],
+        },
+    ]
+}
+
+/// hotspot: iterative thermal stencil, double buffered across launches.
+fn hotspot(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    stencil_workload(gpu, size, "hotspot", 2, 7)
+}
+
+/// srad: speckle-reducing diffusion — same structure, different weights.
+fn srad(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    stencil_workload(gpu, size, "srad", 3, 5)
+}
+
+/// dwt2d: per-block Haar wavelet — pairwise average/difference with a
+/// barrier between the two half-passes.
+fn dwt2d(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let data = gpu.alloc(n).expect("alloc data");
+    let coeff = gpu.alloc(n).expect("alloc coeff");
+    for i in 0..n {
+        gpu.write(data, i, (i % 29) as u32);
+    }
+    let mut b = KernelBuilder::new("dwt2d_kernel");
+    let pdata = b.param(0);
+    let pcoeff = b.param(1);
+    let tid = b.special(Special::Tid);
+    let bid = b.special(Special::BlockId);
+    let bdim = b.special(Special::BlockDim);
+    let base = b.mul(bid, bdim);
+    // Pass 1: first half of the block computes pair averages into coeff.
+    let half = b.shr(bdim, 1u32);
+    let in_lo = b.lt(tid, half);
+    let skip1 = b.fwd_label();
+    b.bra_ifnot(in_lo, skip1);
+    let two_t = b.mul(tid, 2u32);
+    let pair_idx = b.add(base, two_t);
+    let pa = addr(&mut b, pdata, pair_idx);
+    let a0 = b.ld(pa, 0);
+    let a1 = b.ld(pa, 1);
+    let sum = b.add(a0, a1);
+    let avg = b.shr(sum, 1u32);
+    let out_idx = b.add(base, tid);
+    let oa = addr(&mut b, pcoeff, out_idx);
+    b.st(oa, 0, avg);
+    b.bind(skip1);
+    b.syncthreads();
+    // Pass 2: second half computes differences from the averages.
+    let skip2 = b.fwd_label();
+    b.bra_if(in_lo, skip2);
+    let rel = b.sub(tid, half);
+    let two_r = b.mul(rel, 2u32);
+    let pair_idx = b.add(base, two_r);
+    let pa = addr(&mut b, pdata, pair_idx);
+    let a0 = b.ld(pa, 0);
+    let avg_idx = b.add(base, rel);
+    let aa = addr(&mut b, pcoeff, avg_idx);
+    let avg = b.ld(aa, 0);
+    let diff = b.sub(a0, avg);
+    let out_idx = b.add(base, tid);
+    let oa = addr(&mut b, pcoeff, out_idx);
+    b.st(oa, 0, diff);
+    b.bind(skip2);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![data, coeff],
+    }]
+}
+
+/// needle (Needleman–Wunsch): wavefront DP — one launch per anti-diagonal
+/// band; each band reads only the previous band's cells.
+fn needle(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let prev = gpu.alloc(n + 1).expect("alloc prev");
+    let cur = gpu.alloc(n + 1).expect("alloc cur");
+    let next = gpu.alloc(n + 1).expect("alloc next");
+    for i in 0..=n {
+        gpu.write(prev, i, i as u32);
+        gpu.write(cur, i, (i as u32).wrapping_mul(2));
+    }
+    fn band(name: &str) -> gpu_sim::kernel::Kernel {
+        let mut b = KernelBuilder::new(name);
+        let pprev = b.param(0);
+        let pcur = b.param(1);
+        let pnext = b.param(2);
+        let g = b.special(Special::GlobalTid);
+        // next[g+1] = max(prev[g] + 1, cur[g], cur[g+1])
+        let pa = addr(&mut b, pprev, g);
+        let diag = b.ld(pa, 0);
+        let diag1 = b.add(diag, 1u32);
+        let ca = addr(&mut b, pcur, g);
+        let up = b.ld(ca, 0);
+        let left = b.ld(ca, 1);
+        let m1 = b.max(diag1, up);
+        let m = b.max(m1, left);
+        let g1 = b.add(g, 1u32);
+        let na = addr(&mut b, pnext, g1);
+        b.st(na, 0, m);
+        b.build()
+    }
+    vec![
+        Launch {
+            kernel: band("needle_band1"),
+            grid,
+            block,
+            params: vec![prev, cur, next],
+        },
+        Launch {
+            kernel: band("needle_band2"),
+            grid,
+            block,
+            params: vec![cur, next, prev],
+        },
+    ]
+}
+
+/// pathfinder: row-by-row grid DP, one launch per row.
+fn pathfinder(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let row0 = gpu.alloc(n + 2).expect("alloc row0");
+    let row1 = gpu.alloc(n + 2).expect("alloc row1");
+    for i in 0..n + 2 {
+        gpu.write(row0, i, ((i * 7) % 19) as u32);
+    }
+    fn row_kernel(name: &str) -> gpu_sim::kernel::Kernel {
+        let mut b = KernelBuilder::new(name);
+        let psrc = b.param(0);
+        let pdst = b.param(1);
+        let g = b.special(Special::GlobalTid);
+        let sa = addr(&mut b, psrc, g);
+        let l = b.ld(sa, 0);
+        let c = b.ld(sa, 1);
+        let r = b.ld(sa, 2);
+        let m1 = b.min(l, c);
+        let m = b.min(m1, r);
+        let cost = b.add(m, 1u32);
+        let g1 = b.add(g, 1u32);
+        let da = addr(&mut b, pdst, g1);
+        b.st(da, 0, cost);
+        b.build()
+    }
+    vec![
+        Launch {
+            kernel: row_kernel("pathfinder_row1"),
+            grid,
+            block,
+            params: vec![row0, row1],
+        },
+        Launch {
+            kernel: row_kernel("pathfinder_row2"),
+            grid,
+            block,
+            params: vec![row1, row0],
+        },
+    ]
+}
+
+/// nn: nearest neighbour — each thread computes a distance and the global
+/// best is kept with a device-scope atomicMin (safe).
+fn nn(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let points = gpu.alloc(n).expect("alloc points");
+    let best = gpu.alloc(1).expect("alloc best");
+    gpu.write(best, 0, u32::MAX);
+    for i in 0..n {
+        gpu.write(points, i, ((i * 97) % 1021) as u32);
+    }
+    let mut b = KernelBuilder::new("nn_kernel");
+    let ppoints = b.param(0);
+    let pbest = b.param(1);
+    let g = b.special(Special::GlobalTid);
+    let pa = addr(&mut b, ppoints, g);
+    let v = b.ld(pa, 0);
+    // distance to query 500: |v - 500| via max-min
+    let q = b.imm(500);
+    let hi = b.max(v, q);
+    let lo = b.min(v, q);
+    let dist = b.sub(hi, lo);
+    let _ = b.atom(AtomOp::Min, Scope::Device, pbest, 0, dist);
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![points, best],
+    }]
+}
+
+/// kmeans: assignment pass (read-only centroids) then accumulation with
+/// device atomics.
+fn kmeans(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    const K: u32 = 4;
+    let points = gpu.alloc(n).expect("alloc points");
+    let centroids = gpu.alloc(K as usize).expect("alloc centroids");
+    let assign = gpu.alloc(n).expect("alloc assign");
+    let sums = gpu.alloc(K as usize).expect("alloc sums");
+    let counts = gpu.alloc(K as usize).expect("alloc counts");
+    for i in 0..n {
+        gpu.write(points, i, ((i * 31) % 400) as u32);
+    }
+    for c in 0..K as usize {
+        gpu.write(centroids, c, (c as u32) * 100 + 50);
+    }
+    // Kernel 1: assign each point to the nearest centroid.
+    let mut k1 = KernelBuilder::new("kmeans_assign");
+    let ppts = k1.param(0);
+    let pcent = k1.param(1);
+    let passign = k1.param(2);
+    let g = k1.special(Special::GlobalTid);
+    let pa = addr(&mut k1, ppts, g);
+    let v = k1.ld(pa, 0);
+    let best_d = k1.imm(u32::MAX);
+    let best_c = k1.imm(0);
+    let c = k1.imm(0);
+    let top = k1.here();
+    let done = k1.ge(c, K);
+    let exit_l = k1.fwd_label();
+    k1.bra_if(done, exit_l);
+    let ca = addr(&mut k1, pcent, c);
+    let cv = k1.ld(ca, 0);
+    let hi = k1.max(v, cv);
+    let lo = k1.min(v, cv);
+    let d = k1.sub(hi, lo);
+    let better = k1.lt(d, best_d);
+    let nd = k1.sel(better, d, best_d);
+    let nc = k1.sel(better, c, best_c);
+    k1.mov(best_d, nd);
+    k1.mov(best_c, nc);
+    k1.assign_add(c, c, 1u32);
+    k1.bra(top);
+    k1.bind(exit_l);
+    let aa = addr(&mut k1, passign, g);
+    k1.st(aa, 0, best_c);
+    // Kernel 2: accumulate sums/counts per cluster with device atomics.
+    let mut k2 = KernelBuilder::new("kmeans_accumulate");
+    let ppts2 = k2.param(0);
+    let passign2 = k2.param(1);
+    let psums = k2.param(2);
+    let pcounts = k2.param(3);
+    let g2 = k2.special(Special::GlobalTid);
+    let pa2 = addr(&mut k2, ppts2, g2);
+    let v2 = k2.ld(pa2, 0);
+    let aa2 = addr(&mut k2, passign2, g2);
+    let cl = k2.ld(aa2, 0);
+    let sa = addr(&mut k2, psums, cl);
+    let _ = k2.atom(AtomOp::Add, Scope::Device, sa, 0, v2);
+    let ca2 = addr(&mut k2, pcounts, cl);
+    let one = k2.imm(1);
+    let _ = k2.atom(AtomOp::Add, Scope::Device, ca2, 0, one);
+    vec![
+        Launch {
+            kernel: k1.build(),
+            grid,
+            block,
+            params: vec![points, centroids, assign],
+        },
+        Launch {
+            kernel: k2.build(),
+            grid,
+            block,
+            params: vec![points, assign, sums, counts],
+        },
+    ]
+}
+
+/// hybridsort: bucket histogram with device atomics, then a per-block
+/// barriered rank sort of each block's slice.
+fn hybridsort(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let keys = gpu.alloc(n).expect("alloc keys");
+    let hist = gpu.alloc(16).expect("alloc hist");
+    let out = gpu.alloc(n).expect("alloc out");
+    for i in 0..n {
+        gpu.write(keys, i, ((i * 61) % 223) as u32);
+    }
+    // Kernel 1: 16-bucket histogram.
+    let mut k1 = KernelBuilder::new("hybridsort_hist");
+    let pkeys = k1.param(0);
+    let phist = k1.param(1);
+    let g = k1.special(Special::GlobalTid);
+    let ka = addr(&mut k1, pkeys, g);
+    let key = k1.ld(ka, 0);
+    let bkt = k1.and(key, 15u32);
+    let ha = addr(&mut k1, phist, bkt);
+    let one = k1.imm(1);
+    let _ = k1.atom(AtomOp::Add, Scope::Device, ha, 0, one);
+    // Kernel 2: per-block rank sort (barriered).
+    let mut k2 = KernelBuilder::new("hybridsort_sort");
+    let pkeys2 = k2.param(0);
+    let pout = k2.param(1);
+    crate::cub::rank_sort_for(&mut k2, pkeys2, pout, block);
+    vec![
+        Launch {
+            kernel: k1.build(),
+            grid,
+            block,
+            params: vec![keys, hist],
+        },
+        Launch {
+            kernel: k2.build(),
+            grid,
+            block,
+            params: vec![keys, out],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::hook::NullHook;
+    use gpu_sim::machine::GpuConfig;
+
+    #[test]
+    fn all_rodinia_workloads_run_natively() {
+        for w in workloads() {
+            let mut gpu = Gpu::new(GpuConfig {
+                seed: 3,
+                ..GpuConfig::default()
+            });
+            for l in &w.build(&mut gpu, Size::Test) {
+                gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            }
+        }
+    }
+
+    #[test]
+    fn nn_finds_the_true_minimum_distance() {
+        let w = crate::by_name("nn").unwrap();
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 5,
+            ..GpuConfig::default()
+        });
+        let launches = w.build(&mut gpu, Size::Test);
+        for l in &launches {
+            gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
+                .unwrap();
+        }
+        let points = launches[0].params[0];
+        let best = launches[0].params[1];
+        let expect = gpu
+            .read_slice(points, 256)
+            .iter()
+            .map(|&v| v.abs_diff(500))
+            .min()
+            .unwrap();
+        assert_eq!(gpu.read(best, 0), expect);
+    }
+
+    #[test]
+    fn kmeans_counts_every_point() {
+        let w = crate::by_name("kmeans").unwrap();
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 5,
+            ..GpuConfig::default()
+        });
+        let launches = w.build(&mut gpu, Size::Test);
+        for l in &launches {
+            gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
+                .unwrap();
+        }
+        let counts = launches[1].params[3];
+        let total: u32 = gpu.read_slice(counts, 4).iter().sum();
+        assert_eq!(total, 256);
+    }
+}

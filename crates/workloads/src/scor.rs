@@ -1,0 +1,520 @@
+//! The ScoR suite (Kamath, George, Basu — the scoped-racey benchmark suite
+//! iGUARD inherits from ScoRD). Seven racey workloads, 27 races total in
+//! Table 4: matrix-mult (4), 1dconv (1), graph-con (5), reduction (7),
+//! rule-110 (2), uts (6), graph-color (6).
+//!
+//! Every kernel here contains scoped (`_block`) atomics, which is why
+//! Barracuda refuses the whole suite (§7.1).
+
+use gpu_sim::asm::KernelBuilder;
+use gpu_sim::ir::{AtomOp, Scope, Special};
+use gpu_sim::machine::Gpu;
+
+use crate::util::{
+    addr, busy_work, seed_improper_lock, seed_inter_block, seed_intra_block, seed_its,
+    seed_scoped_atomic, tree_reduce_block, work_iters,
+};
+use crate::{BarracudaExpectation, Launch, RaceTag, Size, Suite, Workload};
+
+fn dims(size: Size) -> (u32, u32) {
+    match size {
+        Size::Test => (4, 64),
+        Size::Bench => (24, 128),
+    }
+}
+
+/// All seven ScoR workloads, in Table 4 order.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "matrix-mult",
+            suite: Suite::ScoR,
+            build: matrix_mult,
+            multi_file: false,
+            contention_heavy: true,
+            paper_races: 4,
+            tags: &[RaceTag::IL, RaceTag::AS, RaceTag::BR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "1dconv",
+            suite: Suite::ScoR,
+            build: one_d_conv,
+            multi_file: false,
+            contention_heavy: true,
+            paper_races: 1,
+            tags: &[RaceTag::AS],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "graph-con",
+            suite: Suite::ScoR,
+            build: graph_con,
+            multi_file: false,
+            contention_heavy: true,
+            paper_races: 5,
+            tags: &[RaceTag::AS, RaceTag::BR, RaceTag::DR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "reduction",
+            suite: Suite::ScoR,
+            build: reduction,
+            multi_file: false,
+            contention_heavy: false,
+            paper_races: 7,
+            tags: &[RaceTag::ITS, RaceTag::BR, RaceTag::DR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "rule-110",
+            suite: Suite::ScoR,
+            build: rule_110,
+            multi_file: false,
+            contention_heavy: false,
+            paper_races: 2,
+            tags: &[RaceTag::AS, RaceTag::DR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "uts",
+            suite: Suite::ScoR,
+            build: uts,
+            multi_file: false,
+            contention_heavy: false,
+            paper_races: 6,
+            tags: &[RaceTag::IL, RaceTag::AS],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+        Workload {
+            name: "graph-color",
+            suite: Suite::ScoR,
+            build: graph_color,
+            multi_file: false,
+            contention_heavy: false,
+            paper_races: 6,
+            tags: &[RaceTag::AS, RaceTag::BR, RaceTag::DR],
+            barracuda: BarracudaExpectation::Unsupported,
+        },
+    ]
+}
+
+/// Tiled matrix multiply with a racy progress protocol.
+/// Races: IL (result merge under disjoint locks), AS (block-scope tile
+/// counter), BR ×2 (unbarriered staging writes).
+fn matrix_mult(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    const N: u32 = 16;
+    let a = gpu.alloc((N * N) as usize).expect("alloc A");
+    let bm = gpu.alloc((N * N) as usize).expect("alloc B");
+    let c = gpu.alloc((N * N) as usize).expect("alloc C");
+    let aux = gpu.alloc(256).expect("alloc aux");
+    let locks = gpu.alloc(8).expect("alloc locks");
+    for i in 0..(N * N) as usize {
+        gpu.write(a, i, (i % 7) as u32);
+        gpu.write(bm, i, (i % 5) as u32);
+    }
+
+    let mut b = KernelBuilder::new("matmul_kernel");
+    let pa = b.param(0);
+    let pb = b.param(1);
+    let pc = b.param(2);
+    let paux = b.param(3);
+    let plocks = b.param(4);
+    // Clean compute: C[r][c] = sum_k A[r][k] * B[k][c] for gtid < N*N.
+    let g = b.special(Special::GlobalTid);
+    let in_range = b.lt(g, N * N);
+    let after_compute = b.fwd_label();
+    b.bra_ifnot(in_range, after_compute);
+    let row = b.div(g, N);
+    let col = b.rem(g, N);
+    let acc = b.imm(0);
+    let k = b.imm(0);
+    let top = b.here();
+    let done = b.ge(k, N);
+    let loop_end = b.fwd_label();
+    b.bra_if(done, loop_end);
+    let ra = b.mul(row, N);
+    let ai = b.add(ra, k);
+    let aa = addr(&mut b, pa, ai);
+    let av = b.ld(aa, 0);
+    let kb = b.mul(k, N);
+    let bi = b.add(kb, col);
+    let ba = addr(&mut b, pb, bi);
+    let bv = b.ld(ba, 0);
+    let prod = b.mul(av, bv);
+    let nacc = b.add(acc, prod);
+    b.mov(acc, nacc);
+    b.assign_add(k, k, 1u32);
+    b.bra(top);
+    b.bind(loop_end);
+    let ca = addr(&mut b, pc, g);
+    b.st(ca, 0, acc);
+    b.bind(after_compute);
+    // Race 1 (AS): block-scope atomic on the global tile counter.
+    seed_scoped_atomic(&mut b, paux, 0, "matmul tile counter");
+    // Races 2-3 (BR): two unbarriered staging writes.
+    seed_intra_block(&mut b, paux, 8, "matmul stage-1");
+    seed_intra_block(&mut b, paux, 48, "matmul stage-2");
+    // Race 4 (IL): partial-result merge under disjoint per-thread locks.
+    seed_improper_lock(&mut b, plocks, paux, 96, "matmul result merge");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![a, bm, c, aux, locks],
+    }]
+}
+
+/// 1-D convolution with halo exchange.
+/// Race: AS (block-scope atomic on the shared halo-ready counter).
+fn one_d_conv(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let input = gpu.alloc(n + 2).expect("alloc in");
+    let output = gpu.alloc(n).expect("alloc out");
+    let aux = gpu.alloc(8).expect("alloc aux");
+    for i in 0..n + 2 {
+        gpu.write(input, i, (i * 3 % 11) as u32);
+    }
+    let mut b = KernelBuilder::new("conv1d_kernel");
+    let pin = b.param(0);
+    let pout = b.param(1);
+    let paux = b.param(2);
+    busy_work(&mut b, work_iters(size));
+    // Clean compute: out[g] = in[g] + in[g+1] + in[g+2].
+    let g = b.special(Special::GlobalTid);
+    let a0 = addr(&mut b, pin, g);
+    let v0 = b.ld(a0, 0);
+    let v1 = b.ld(a0, 1);
+    let v2 = b.ld(a0, 2);
+    let s01 = b.add(v0, v1);
+    let s = b.add(s01, v2);
+    let oa = addr(&mut b, pout, g);
+    b.st(oa, 0, s);
+    // Race (AS): halo-ready counter bumped with block scope.
+    // Every thread ticks the global progress counter each tile round:
+    // safe device atomics, but a metadata-contention storm (Figure 12).
+    contended_counter(&mut b, paux, 6, 4);
+    seed_scoped_atomic(&mut b, paux, 0, "conv1d halo counter");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![input, output, aux],
+    }]
+}
+
+/// Graph connectivity via label propagation (atomicMin hooking).
+/// Races: AS (block-scope hook), BR ×2 (frontier flags), DR ×2
+/// (unfenced cross-block convergence flags).
+fn graph_con(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let labels = gpu.alloc(n).expect("alloc labels");
+    let aux = gpu.alloc(256).expect("alloc aux");
+    for i in 0..n {
+        gpu.write(labels, i, i as u32);
+    }
+    let mut b = KernelBuilder::new("graphcon_kernel");
+    let plabels = b.param(0);
+    let paux = b.param(1);
+    busy_work(&mut b, work_iters(size));
+    // Clean compute: hook to neighbour's label with device atomicMin.
+    let g = b.special(Special::GlobalTid);
+    let total = b.special(Special::GridDim);
+    let bdim = b.special(Special::BlockDim);
+    let nthreads = b.mul(total, bdim);
+    let g1 = b.add(g, 1u32);
+    let nb = b.rem(g1, nthreads);
+    let na = addr(&mut b, plabels, nb);
+    let my_a = addr(&mut b, plabels, g);
+    let mine = b.ld(my_a, 0);
+    let _ = b.atom(AtomOp::Min, Scope::Device, na, 0, mine);
+    // Race 1 (AS): block-scope hook on the global min label.
+    // The frontier size is ticked by every thread per round (safe device
+    // atomics; heavy metadata contention, Figure 12).
+    contended_counter(&mut b, paux, 6, 4);
+    seed_scoped_atomic(&mut b, paux, 0, "graphcon global min");
+    // Races 2-3 (BR): per-block frontier flags, two phases.
+    seed_intra_block(&mut b, paux, 8, "graphcon frontier A");
+    seed_intra_block(&mut b, paux, 48, "graphcon frontier B");
+    // Races 4-5 (DR): cross-block convergence flags, unfenced.
+    seed_inter_block(&mut b, paux, 4, "graphcon converged flag");
+    seed_inter_block(&mut b, paux, 5, "graphcon iteration flag");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![labels, aux],
+    }]
+}
+
+/// Multi-stage reduction relying on (absent) lockstep execution.
+/// Races: ITS ×3 (warp-level stages missing `__syncwarp`), BR ×2, DR ×2.
+fn reduction(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let data = gpu.alloc(n).expect("alloc data");
+    let out = gpu.alloc(grid as usize).expect("alloc out");
+    let warps = grid * block.div_ceil(32);
+    let aux = gpu.alloc(192 + 3 * warps as usize).expect("alloc aux");
+    for i in 0..n {
+        gpu.write(data, i, 1);
+    }
+    let mut b = KernelBuilder::new("reduction_kernel");
+    let pdata = b.param(0);
+    let pout = b.param(1);
+    let paux = b.param(2);
+    // Clean compute: correctly barriered block tree reduction.
+    tree_reduce_block(&mut b, pdata, pout, block_pow2(gpu, block));
+    // A *safe* block-scope atomic (per-block slot): makes the binary
+    // scoped — the reason Barracuda refuses this suite — without racing.
+    let bid = b.special(Special::BlockId);
+    let slot = b.add(bid, 96u32);
+    let ctr = addr(&mut b, paux, slot);
+    let tid = b.special(Special::Tid);
+    let is0 = b.eq(tid, 0u32);
+    let fin = b.fwd_label();
+    b.bra_ifnot(is0, fin);
+    let one = b.imm(1);
+    let _ = b.atom(AtomOp::Add, Scope::Block, ctr, 0, one);
+    b.bind(fin);
+    // Races 1-3 (ITS): the Figure 8 warp stages, three unrolled steps.
+    let warp_area = 192; // aux words [192 ..] are the per-warp ITS regions
+    seed_its(&mut b, paux, warp_area, "reduction warp stage 1");
+    seed_its(&mut b, paux, warp_area + warps, "reduction warp stage 2");
+    seed_its(
+        &mut b,
+        paux,
+        warp_area + 2 * warps,
+        "reduction warp stage 3",
+    );
+    // Races 4-5 (BR): block-level combine without barriers.
+    seed_intra_block(&mut b, paux, 8, "reduction block combine A");
+    seed_intra_block(&mut b, paux, 48, "reduction block combine B");
+    // Races 6-7 (DR): final cross-block accumulation without fences.
+    seed_inter_block(&mut b, paux, 4, "reduction final sum");
+    seed_inter_block(&mut b, paux, 5, "reduction done flag");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![data, out, aux],
+    }]
+}
+
+fn block_pow2(_gpu: &Gpu, block: u32) -> u32 {
+    // Tree reduction requires a power-of-two block; dims() guarantees it.
+    assert!(block.is_power_of_two());
+    block
+}
+
+/// Rule-110 cellular automaton, double buffered.
+/// Races: AS (block-scope generation counter), DR (unfenced boundary cell).
+fn rule_110(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let n = (grid * block) as usize;
+    let cur = gpu.alloc(n + 2).expect("alloc cur");
+    let next = gpu.alloc(n + 2).expect("alloc next");
+    let aux = gpu.alloc(8).expect("alloc aux");
+    gpu.write(cur, n / 2, 1);
+    let mut b = KernelBuilder::new("rule110_kernel");
+    let pcur = b.param(0);
+    let pnext = b.param(1);
+    let paux = b.param(2);
+    busy_work(&mut b, work_iters(size));
+    // Clean compute: next[g+1] = rule110(cur[g], cur[g+1], cur[g+2]).
+    let g = b.special(Special::GlobalTid);
+    let ca = addr(&mut b, pcur, g);
+    let l = b.ld(ca, 0);
+    let c = b.ld(ca, 1);
+    let r = b.ld(ca, 2);
+    // rule 110: new = (c | r) & !(l & c & r)
+    let or_cr = b.or(c, r);
+    let and_lc = b.and(l, c);
+    let and_all = b.and(and_lc, r);
+    let not_all = b.xor(and_all, 1u32);
+    let nv = b.and(or_cr, not_all);
+    let g1 = b.add(g, 1u32);
+    let na = addr(&mut b, pnext, g1);
+    b.st(na, 0, nv);
+    // Race 1 (AS): generation counter with block scope.
+    seed_scoped_atomic(&mut b, paux, 0, "rule110 generation counter");
+    // Race 2 (DR): boundary cell exchanged across blocks, unfenced.
+    seed_inter_block(&mut b, paux, 4, "rule110 boundary cell");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![cur, next, aux],
+    }]
+}
+
+/// Unbalanced tree search with work stealing.
+/// Races: IL ×3 (steal queues under disjoint locks), AS ×3 (block-scope
+/// steal counters shared across blocks).
+fn uts(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    let aux = gpu.alloc(256).expect("alloc aux");
+    let locks = gpu.alloc(16).expect("alloc locks");
+    let mut b = KernelBuilder::new("uts_kernel");
+    let paux = b.param(0);
+    let plocks = b.param(1);
+    busy_work(&mut b, work_iters(size));
+    // Clean-ish compute: every thread expands a few nodes (pure ALU).
+    let g = b.special(Special::GlobalTid);
+    let h = b.mul(g, 2654435761u32);
+    let h2 = b.shr(h, 7u32);
+    let _ = b.xor(h, h2);
+    // Races 1-3 (IL): three steal-queue updates under disjoint locks.
+    seed_improper_lock(&mut b, plocks, paux, 96, "uts deque head");
+    seed_improper_lock(&mut b, plocks, paux, 128, "uts deque tail");
+    seed_improper_lock(&mut b, plocks, paux, 160, "uts work count");
+    // Races 4-6 (AS): block-scope steal counters.
+    seed_scoped_atomic(&mut b, paux, 0, "uts steal counter");
+    seed_scoped_atomic(&mut b, paux, 1, "uts node counter");
+    seed_scoped_atomic(&mut b, paux, 2, "uts depth counter");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![aux, locks],
+    }]
+}
+
+/// Graph coloring with work stealing — the Figure 1 kernel.
+/// Races: AS (the real getWork steal), plus seeded AS, BR ×2, DR ×2.
+fn graph_color(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = dims(size);
+    // Tiny partitions force stealing.
+    let next_head = gpu.alloc(grid as usize).expect("alloc nextHead");
+    let partition_end = gpu.alloc(grid as usize).expect("alloc partitionEnd");
+    let aux = gpu.alloc(256).expect("alloc aux");
+    for blk in 0..grid as usize {
+        gpu.write(next_head, blk, 0);
+        // Partition sizes differ so early finishers steal (Figure 1).
+        gpu.write(partition_end, blk, if blk % 2 == 0 { 1 } else { 4 });
+    }
+    let mut b = KernelBuilder::new("graphcolor_kernel");
+    let pnext = b.param(0);
+    let pend = b.param(1);
+    let paux = b.param(2);
+    busy_work(&mut b, work_iters(size));
+    let tid = b.special(Special::Tid);
+    let bid = b.special(Special::BlockId);
+    let grid_dim = b.special(Special::GridDim);
+    // Leader calls getWork() once per coloring iteration (Figure 1 line
+    // 3); small partitions exhaust quickly and force stealing.
+    let is0 = b.eq(tid, 0u32);
+    let done = b.fwd_label();
+    b.bra_ifnot(is0, done);
+    let iter = b.imm(0);
+    let iter_top = b.here();
+    let iters_done = b.ge(iter, 4u32);
+    b.bra_if(iters_done, done);
+    // Lines 5-7: currHead = atomicAdd_block(&nextHead[blockId], NTHREADS).
+    let my_head_a = addr(&mut b, pnext, bid);
+    let nthreads = b.imm(1);
+    b.loc("getWork: atomicAdd_block(&nextHead[blockId])  // Figure 1 line 6");
+    let curr = b.atom(AtomOp::Add, Scope::Block, my_head_a, 0, nthreads);
+    // Lines 9-10: work left in own partition?
+    let my_end_a = addr(&mut b, pend, bid);
+    let my_end = b.ld(my_end_a, 0);
+    let next_iter = b.fwd_label();
+    let has_work = b.lt(curr, my_end);
+    b.bra_if(has_work, next_iter);
+    // Lines 12-16: steal from the next block with a device-scope atomic.
+    let b1 = b.add(bid, 1u32);
+    let victim = b.rem(b1, grid_dim);
+    let victim_a = addr(&mut b, pnext, victim);
+    b.loc("getWork: atomicAdd(&nextHead[victimBlock])  // Figure 1 line 15");
+    let _ = b.atom(AtomOp::Add, Scope::Device, victim_a, 0, nthreads);
+    b.bind(next_iter);
+    b.assign_add(iter, iter, 1u32);
+    b.bra(iter_top);
+    b.bind(done);
+    // Seeded companions to reach Table 4's six races.
+    seed_scoped_atomic(&mut b, paux, 0, "graphcolor color counter");
+    seed_intra_block(&mut b, paux, 8, "graphcolor worklist A");
+    seed_intra_block(&mut b, paux, 48, "graphcolor worklist B");
+    seed_inter_block(&mut b, paux, 4, "graphcolor done flag");
+    seed_inter_block(&mut b, paux, 5, "graphcolor round flag");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![next_head, partition_end, aux],
+    }]
+}
+
+/// A safe (device-scope) atomic hammer on `buf[slot]`: `rounds` increments
+/// by every thread. Race-free via P6, but every access serializes on the
+/// same metadata entry — the access pattern Figure 12 isolates.
+fn contended_counter(b: &mut KernelBuilder, buf: gpu_sim::ir::Reg, slot: u32, rounds: u32) {
+    let slot_r = b.imm(slot);
+    let ctr = addr(b, buf, slot_r);
+    let i = b.imm(0);
+    let top = b.here();
+    let done = b.ge(i, rounds);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    let one = b.imm(1);
+    b.loc("progress: atomicAdd(counter, 1)");
+    let _ = b.atom(AtomOp::Add, Scope::Device, ctr, 0, one);
+    b.assign_add(i, i, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scor_suite_has_27_paper_races() {
+        let total: usize = workloads().iter().map(|w| w.paper_races).sum();
+        assert_eq!(total, 4 + 1 + 5 + 7 + 2 + 6 + 6);
+    }
+
+    #[test]
+    fn every_scor_kernel_contains_scoped_atomics() {
+        // The property Barracuda's refusal rests on (§7.1).
+        let mut gpu = Gpu::new(gpu_sim::machine::GpuConfig::default());
+        for w in workloads() {
+            let launches = w.build(&mut gpu, Size::Test);
+            let any_scoped = launches
+                .iter()
+                .any(|l| nvbit_sim::inspect::census(&l.kernel).block_scope_atomics > 0);
+            assert!(any_scoped, "{} must contain a block-scope atomic", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_run_to_completion_natively() {
+        for w in workloads() {
+            let mut gpu = Gpu::new(gpu_sim::machine::GpuConfig {
+                seed: 5,
+                ..gpu_sim::machine::GpuConfig::default()
+            });
+            let launches = w.build(&mut gpu, Size::Test);
+            for l in &launches {
+                gpu.launch(
+                    &l.kernel,
+                    l.grid,
+                    l.block,
+                    &l.params,
+                    &mut gpu_sim::hook::NullHook,
+                )
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! SHoC (Scalable Heterogeneous Computing benchmark suite): `shocbfs`,
+//! the breadth-first-search kernel with the 2 intra-block races Barracuda
+//! also found (Table 4). Single-file: Barracuda runs it (slowly — the
+//! paper measured 60× vs iGUARD's 2.8×).
+
+use gpu_sim::asm::KernelBuilder;
+use gpu_sim::ir::{AtomOp, Scope, Special};
+use gpu_sim::machine::Gpu;
+
+use crate::util::{addr, busy_work, seed_intra_block, work_iters};
+use crate::{BarracudaExpectation, Launch, RaceTag, Size, Suite, Workload};
+
+/// The SHoC workload of Table 4.
+pub fn racey_workloads() -> Vec<Workload> {
+    vec![Workload {
+        name: "shocbfs",
+        suite: Suite::Shoc,
+        build: shocbfs,
+        multi_file: false,
+        contention_heavy: false,
+        paper_races: 2,
+        tags: &[RaceTag::BR],
+        barracuda: BarracudaExpectation::Races(2),
+    }]
+}
+
+/// BFS level expansion: the frontier queue is maintained with device-scope
+/// atomics (safe); the per-block next-frontier staging misses its barriers
+/// in two places (2 BR sites).
+fn shocbfs(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = match size {
+        Size::Test => (4, 64),
+        Size::Bench => (16, 128),
+    };
+    let n = (grid * block) as usize;
+    let levels = gpu.alloc(n).expect("alloc levels");
+    let frontier_len = gpu.alloc(1).expect("alloc frontier");
+    let aux = gpu.alloc(grid as usize + 72).expect("alloc aux");
+    for i in 0..n {
+        gpu.write(levels, i, u32::MAX);
+    }
+    gpu.write(levels, 0, 0);
+    let mut b = KernelBuilder::new("shocbfs_kernel");
+    let plev = b.param(0);
+    let pflen = b.param(1);
+    let paux = b.param(2);
+    busy_work(&mut b, work_iters(size));
+    // Clean expand: if my level is set, relax my ring neighbour with
+    // atomicMin and bump the frontier length with a device atomic.
+    let g = b.special(Special::GlobalTid);
+    let la = addr(&mut b, plev, g);
+    let lv = b.ld(la, 0);
+    let unvisited = b.eq(lv, u32::MAX);
+    let fin = b.fwd_label();
+    b.bra_if(unvisited, fin);
+    let gd = b.special(Special::GridDim);
+    let bd = b.special(Special::BlockDim);
+    let nt = b.mul(gd, bd);
+    let g1 = b.add(g, 1u32);
+    let nb = b.rem(g1, nt);
+    let na = addr(&mut b, plev, nb);
+    let lv1 = b.add(lv, 1u32);
+    b.loc("relax: atomicMin(levels[nb], lv+1)");
+    let _ = b.atom(AtomOp::Min, Scope::Device, na, 0, lv1);
+    let one = b.imm(1);
+    let _ = b.atom(AtomOp::Add, Scope::Device, pflen, 0, one);
+    b.bind(fin);
+    // The two BR bugs Barracuda also caught.
+    seed_intra_block(&mut b, paux, 8, "shocbfs next-frontier stage");
+    seed_intra_block(&mut b, paux, 48, "shocbfs frontier count stage");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![levels, frontier_len, aux],
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::machine::GpuConfig;
+
+    #[test]
+    fn shocbfs_runs_natively() {
+        let w = &racey_workloads()[0];
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 3,
+            ..GpuConfig::default()
+        });
+        for l in &w.build(&mut gpu, Size::Test) {
+            gpu.launch(
+                &l.kernel,
+                l.grid,
+                l.block,
+                &l.params,
+                &mut gpu_sim::hook::NullHook,
+            )
+            .unwrap();
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! SlabHash (Ashkiani et al., a dynamic GPU hash table): `slabhash_test`
+//! with the 1 DR race iGUARD reported. Multi-file library (Barracuda
+//! cannot embed its PTX).
+
+use gpu_sim::asm::KernelBuilder;
+use gpu_sim::ir::{AtomOp, Scope, Special};
+use gpu_sim::machine::Gpu;
+
+use crate::util::{addr, busy_work, seed_inter_block, work_iters};
+use crate::{BarracudaExpectation, Launch, RaceTag, Size, Suite, Workload};
+
+/// The SlabHash workload of Table 4.
+pub fn workloads() -> Vec<Workload> {
+    vec![Workload {
+        name: "slabhash_test",
+        suite: Suite::SlabHash,
+        build: slabhash_test,
+        multi_file: true,
+        contention_heavy: false,
+        paper_races: 1,
+        tags: &[RaceTag::DR],
+        barracuda: BarracudaExpectation::Unsupported,
+    }]
+}
+
+/// Concurrent hash-table inserts: bucket claims via device-scope
+/// `atomicCAS` (safe), slab allocation via a device-scope cursor (safe),
+/// but the table's element count is published with a plain unfenced store
+/// read by other blocks — the 1 DR site.
+fn slabhash_test(gpu: &mut Gpu, size: Size) -> Vec<Launch> {
+    let (grid, block) = match size {
+        Size::Test => (4, 64),
+        Size::Bench => (16, 128),
+    };
+    let n = grid * block;
+    let buckets = gpu.alloc(256).expect("alloc buckets");
+    let alloc_cursor = gpu.alloc(1).expect("alloc cursor");
+    let aux = gpu.alloc(grid as usize + 8).expect("alloc aux");
+    let mut b = KernelBuilder::new("slabhash_kernel");
+    let pbuckets = b.param(0);
+    let pcursor = b.param(1);
+    let paux = b.param(2);
+    busy_work(&mut b, work_iters(size));
+    // Clean insert: claim bucket (hash(g) % 256) with device atomicCAS;
+    // on failure, allocate a new slab slot from the cursor.
+    let g = b.special(Special::GlobalTid);
+    let h = b.mul(g, 0x9E3779B9u32);
+    let bkt = b.rem(h, 256u32);
+    let ba = addr(&mut b, pbuckets, bkt);
+    let zero = b.imm(0);
+    let g1 = b.add(g, 1u32); // key (nonzero)
+    b.loc("insert: atomicCAS(bucket, EMPTY, key)");
+    let old = b.atomic_cas(Scope::Device, ba, 0, zero, g1);
+    let won = b.eq(old, 0u32);
+    let fin = b.fwd_label();
+    b.bra_if(won, fin);
+    let one = b.imm(1);
+    b.loc("collision: allocate slab slot");
+    let _ = b.atom(AtomOp::Add, Scope::Device, pcursor, 0, one);
+    b.bind(fin);
+    let _ = n;
+    // The bug: the running element count is published unfenced.
+    seed_inter_block(&mut b, paux, 4, "slabhash element count");
+    let kernel = b.build();
+    vec![Launch {
+        kernel,
+        grid,
+        block,
+        params: vec![buckets, alloc_cursor, aux],
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::machine::GpuConfig;
+
+    #[test]
+    fn slabhash_runs_natively() {
+        let w = &workloads()[0];
+        let mut gpu = Gpu::new(GpuConfig {
+            seed: 3,
+            ..GpuConfig::default()
+        });
+        for l in &w.build(&mut gpu, Size::Test) {
+            gpu.launch(
+                &l.kernel,
+                l.grid,
+                l.block,
+                &l.params,
+                &mut gpu_sim::hook::NullHook,
+            )
+            .unwrap();
+        }
+    }
+}

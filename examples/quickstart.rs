@@ -1,0 +1,61 @@
+//! Quickstart: write a tiny racy kernel, run it on the simulated GPU with
+//! iGUARD attached, and print the race report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use iguard_repro::gpu_sim::prelude::*;
+use iguard_repro::iguard::Iguard;
+use iguard_repro::nvbit_sim::Instrumented;
+
+fn main() {
+    // __global__ void racy(int* a) {
+    //     if (tid == 1) a[1] = 77;       // lane 1 produces
+    //     /* missing __syncwarp() */
+    //     if (tid == 0) a[0] = a[1];     // lane 0 consumes
+    // }
+    let mut b = KernelBuilder::new("racy");
+    let tid = b.special(Special::Tid);
+    let base = b.param(0);
+    let is1 = b.eq(tid, 1u32);
+    let skip = b.fwd_label();
+    b.bra_ifnot(is1, skip);
+    let v = b.imm(77);
+    b.loc("a[1] = 77");
+    b.st(base, 1, v);
+    b.bind(skip);
+    // b.syncwarp();  // <-- uncommenting this line fixes the race
+    let is0 = b.eq(tid, 0u32);
+    let done = b.fwd_label();
+    b.bra_ifnot(is0, done);
+    b.loc("a[0] = a[1]");
+    let got = b.ld(base, 1);
+    b.st(base, 0, got);
+    b.bind(done);
+    let kernel = b.build();
+
+    // A simulated Titan RTX with Independent Thread Scheduling.
+    let mut gpu = Gpu::new(GpuConfig::default());
+    let buf = gpu.alloc(4).expect("alloc");
+
+    // Attach iGUARD through the binary-instrumentation layer — note the
+    // kernel is not recompiled or even inspected at source level.
+    let mut tool = Instrumented::new(Iguard::default());
+    gpu.launch(&kernel, 1, 32, &[buf], &mut tool)
+        .expect("launch");
+
+    let races = tool.tool_mut().races();
+    println!("kernel finished; a[0] = {}", gpu.read(buf, 0));
+    println!("{} race(s) detected:", races.len());
+    for r in &races {
+        println!("  {r}");
+    }
+    assert!(
+        races
+            .iter()
+            .any(|r| r.kind == iguard_repro::iguard::RaceKind::IntraWarp),
+        "the missing-__syncwarp ITS race must be caught"
+    );
+    println!("\n(the fix: insert __syncwarp() between producer and consumer)");
+}

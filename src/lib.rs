@@ -1,0 +1,23 @@
+//! # iguard-repro: facade crate for the iGUARD (SOSP '21) reproduction
+//!
+//! Re-exports the whole workspace so examples, integration tests, and
+//! downstream users can depend on a single crate:
+//!
+//! - [`gpu_sim`] — the simulated CUDA execution substrate;
+//! - [`nvbit_sim`] — the dynamic binary-instrumentation framework;
+//! - [`uvm_sim`] — unified-virtual-memory (demand paging) simulation;
+//! - [`iguard`] — the paper's contribution: the in-GPU race detector;
+//! - [`barracuda`] — the CPU-side baseline detector;
+//! - [`workloads`] — the 40+ workloads of the paper's evaluation.
+//!
+//! See `README.md` for a tour and `examples/quickstart.rs` for a minimal
+//! end-to-end detection run.
+
+#![forbid(unsafe_code)]
+
+pub use barracuda;
+pub use gpu_sim;
+pub use iguard;
+pub use nvbit_sim;
+pub use uvm_sim;
+pub use workloads;

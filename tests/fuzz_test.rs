@@ -1,0 +1,109 @@
+//! A ground-truth program fuzzer: generates random multi-phase kernels
+//! whose race status is known *by construction*, and checks the detector's
+//! verdict against the ground truth across random ITS schedules.
+//!
+//! Program shape: `P` phases over a double-buffered array. In each phase
+//! every thread writes its own cell of `buf[phase % 2]` and reads a cell
+//! of `buf[(phase-1) % 2]` written by a (generally cross-warp) thread of
+//! the previous phase. Same-phase accesses touch different buffers, and
+//! barriers are unconditional, so phases interact only across their gap:
+//! the program races **iff** the generator drops a gap's
+//! `__syncthreads()` — exact ground truth by construction.
+
+use iguard_repro::gpu_sim::machine::{Gpu, GpuConfig};
+use iguard_repro::gpu_sim::prelude::*;
+use iguard_repro::iguard::Iguard;
+use iguard_repro::nvbit_sim::Instrumented;
+use proptest::prelude::*;
+
+const BLOCK: u32 = 64;
+
+#[derive(Debug, Clone)]
+struct PhasePlan {
+    /// Offset defining which previous-phase cell each thread reads.
+    read_shift: u32,
+    /// Whether a `__syncthreads()` precedes this phase.
+    synced: bool,
+}
+
+fn phase_strategy(force_sync: bool) -> impl Strategy<Value = PhasePlan> {
+    (1u32..BLOCK, any::<bool>()).prop_map(move |(read_shift, synced)| PhasePlan {
+        read_shift,
+        synced: force_sync || synced,
+    })
+}
+
+fn build(phases: &[PhasePlan]) -> (Kernel, bool) {
+    let mut racy = false;
+    let mut b = KernelBuilder::new("fuzzed");
+    let tid = b.special(Special::Tid);
+    let base = b.param(0);
+    for (i, p) in phases.iter().enumerate() {
+        if i > 0 {
+            if p.synced {
+                b.syncthreads();
+            } else {
+                // The previous phase's writes are read unordered: a race
+                // (read_shift != 0 guarantees a cross-thread pair, and for
+                // most threads a cross-warp one the detector must flag).
+                racy = true;
+            }
+        }
+        // Write own cell of this phase's buffer parity.
+        let parity_base = (i % 2) as u32 * BLOCK;
+        let wcell = b.add(tid, parity_base);
+        let woff = b.mul(wcell, 4u32);
+        let wa = b.add(base, woff);
+        let v = b.add(tid, i as u32);
+        b.st(wa, 0, v);
+        if i > 0 {
+            // Read another thread's cell of the previous parity.
+            let prev_base = ((i - 1) % 2) as u32 * BLOCK;
+            let t2 = b.add(tid, p.read_shift);
+            let rcell = b.rem(t2, BLOCK);
+            let shifted = b.add(rcell, prev_base);
+            let roff = b.mul(shifted, 4u32);
+            let ra = b.add(base, roff);
+            let _ = b.ld(ra, 0);
+        }
+    }
+    (b.build(), racy)
+}
+
+fn detect(kernel: &Kernel, seed: u64) -> usize {
+    let mut gpu = Gpu::new(GpuConfig {
+        seed,
+        ..GpuConfig::default()
+    });
+    let buf = gpu.alloc(2 * BLOCK as usize).unwrap();
+    let mut tool = Instrumented::new(Iguard::default());
+    gpu.launch(kernel, 1, BLOCK, &[buf], &mut tool).unwrap();
+    tool.tool().unique_races()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fully synchronized fuzzed programs are never flagged.
+    #[test]
+    fn synchronized_fuzzed_programs_are_clean(
+        phases in prop::collection::vec(phase_strategy(true), 2..5),
+        seed in any::<u64>(),
+    ) {
+        let (k, racy) = build(&phases);
+        prop_assert!(!racy);
+        prop_assert_eq!(detect(&k, seed), 0);
+    }
+
+    /// Fuzzed programs are flagged iff the generator seeded a race —
+    /// verdicts match ground truth on every schedule.
+    #[test]
+    fn fuzzed_verdicts_match_ground_truth(
+        phases in prop::collection::vec(phase_strategy(false), 2..5),
+        seed in any::<u64>(),
+    ) {
+        let (k, racy) = build(&phases);
+        let found = detect(&k, seed) > 0;
+        prop_assert_eq!(found, racy, "ground truth {} vs detector {}", racy, found);
+    }
+}
