@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full workspace tests, clippy clean.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace --release
+
+echo "== cargo clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

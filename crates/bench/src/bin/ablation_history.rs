@@ -4,14 +4,34 @@
 //! justification for the 16-byte metadata entry.
 //!
 //! ```text
-//! cargo run -p bench --release --bin ablation_history
+//! cargo run -p bench --release --bin ablation_history [-- --jobs N | --serial]
 //! ```
 
-use bench::{run_iguard, DEFAULT_SEED};
+use bench::{run_jobs, DriverConfig, JobSpec, RunOutput, ToolSpec, DEFAULT_SEED};
 use iguard::IguardConfig;
 use workloads::Size;
 
+const DEPTHS: [usize; 4] = [1, 2, 4, 8];
+
 fn main() {
+    let (driver, _rest) = DriverConfig::from_env();
+    let set = workloads::racey();
+    let mut jobs = Vec::new();
+    for w in &set {
+        for d in DEPTHS {
+            jobs.push(
+                JobSpec::new(
+                    *w,
+                    ToolSpec::Iguard(IguardConfig::with_history(d)),
+                    Size::Test,
+                    DEFAULT_SEED,
+                )
+                .into_job(),
+            );
+        }
+    }
+    let outcomes = run_jobs(jobs, &driver);
+
     println!("Sec 6.7 ablation: races found vs accessor-history depth");
     println!();
     println!(
@@ -20,20 +40,28 @@ fn main() {
     );
     println!("{}", "-".repeat(55));
     let mut any_new = false;
-    for w in workloads::racey() {
-        let counts: Vec<usize> = [1usize, 2, 4, 8]
-            .iter()
-            .map(|&d| {
-                run_iguard(&w, Size::Test, DEFAULT_SEED, IguardConfig::with_history(d))
-                    .sites
-                    .len()
+    for (i, w) in set.iter().enumerate() {
+        let counts: Vec<Option<usize>> = (0..DEPTHS.len())
+            .map(|j| {
+                outcomes[i * DEPTHS.len() + j]
+                    .value()
+                    .and_then(RunOutput::iguard)
+                    .map(|r| r.sites.len())
             })
             .collect();
+        let cell = |c: Option<usize>| match c {
+            Some(n) => n.to_string(),
+            None => "DNF".to_string(),
+        };
         println!(
             "{:<15} {:>8} {:>8} {:>8} {:>8}",
-            w.name, counts[0], counts[1], counts[2], counts[3]
+            w.name,
+            cell(counts[0]),
+            cell(counts[1]),
+            cell(counts[2]),
+            cell(counts[3])
         );
-        if counts.iter().any(|&c| c != counts[0]) {
+        if counts.iter().flatten().any(|&c| Some(c) != counts[0]) {
             any_new = true;
         }
     }

@@ -4,10 +4,10 @@
 //! this harness measures it end-to-end by timing fence-heavy kernels.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fence_scope_cost
+//! cargo run -p bench --release --bin fence_scope_cost [-- --jobs N | --serial]
 //! ```
 
-use bench::{gpu_config, DEFAULT_SEED};
+use bench::{gpu_config, run_jobs_strict, DriverConfig, Job, DEFAULT_SEED};
 use gpu_sim::prelude::*;
 
 fn fence_kernel(scope: Scope, fences: u32) -> Kernel {
@@ -24,19 +24,33 @@ fn fence_kernel(scope: Scope, fences: u32) -> Kernel {
     b.build()
 }
 
-fn time_kernel(k: &Kernel) -> f64 {
+fn time_kernel(scope: Scope, fences: u32) -> f64 {
     let mut gpu = Gpu::new(gpu_config(DEFAULT_SEED));
-    gpu.launch(k, 8, 128, &[], &mut NullHook).expect("launch");
+    gpu.launch(&fence_kernel(scope, fences), 8, 128, &[], &mut NullHook)
+        .expect("launch");
     gpu.clock().total_time()
 }
 
 fn main() {
+    let (driver, _rest) = DriverConfig::from_env();
     const FENCES: u32 = 64;
+    // The four timing points ride the driver as custom jobs.
+    let jobs = [
+        (Scope::Block, 2 * FENCES),
+        (Scope::Block, FENCES),
+        (Scope::Device, 2 * FENCES),
+        (Scope::Device, FENCES),
+    ]
+    .into_iter()
+    .map(|(scope, n)| {
+        Job::custom(format!("fence/{scope:?} x{n}"), move || time_kernel(scope, n))
+    })
+    .collect();
+    let times = run_jobs_strict(jobs, &driver);
+
     // Differencing two iteration counts cancels the loop skeleton exactly.
-    let net_block = time_kernel(&fence_kernel(Scope::Block, 2 * FENCES))
-        - time_kernel(&fence_kernel(Scope::Block, FENCES));
-    let net_device = time_kernel(&fence_kernel(Scope::Device, 2 * FENCES))
-        - time_kernel(&fence_kernel(Scope::Device, FENCES));
+    let net_block = times[0] - times[1];
+    let net_device = times[2] - times[3];
     println!("fence microbenchmark ({FENCES} fences/thread net, 8x128 grid)");
     println!("  block-scope  __threadfence_block(): {net_block:>10.0} cycles");
     println!("  device-scope __threadfence():       {net_device:>10.0} cycles");

@@ -5,19 +5,26 @@
 //! on the common subset.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig11
+//! cargo run -p bench --release --bin fig11 [-- --jobs N | --serial]
 //! ```
 
-use bench::{geomean, run_barracuda, run_iguard, run_native, BarracudaRun, DEFAULT_SEED};
+use bench::{
+    geomean, run_jobs, BarracudaRun, DriverConfig, JobSpec, Outcome, RunOutput, ToolSpec,
+    DEFAULT_SEED,
+};
 use iguard::IguardConfig;
-use workloads::{Size, Workload};
+use workloads::Size;
 
-fn row(w: &Workload) -> (f64, Option<f64>, &'static str) {
-    let native = run_native(w, Size::Bench, DEFAULT_SEED);
-    let ig = run_iguard(w, Size::Bench, DEFAULT_SEED, IguardConfig::default());
+/// Per-workload overheads extracted from the three driver outcomes:
+/// `(iguard_over, barracuda_over, note)`.
+fn row(outcomes: &[Outcome<RunOutput>]) -> Option<(f64, Option<f64>, &'static str)> {
+    let native = outcomes[0].value()?.native()?;
+    let ig = outcomes[1].value()?.iguard()?;
     let ig_over = ig.time / native.time;
-    let bar = run_barracuda(w, Size::Bench, DEFAULT_SEED, bench::barracuda_config_for(w));
-    match bar {
+    let Some(bar) = outcomes[2].value().and_then(RunOutput::barracuda) else {
+        return Some((ig_over, None, "DNF"));
+    };
+    Some(match bar {
         BarracudaRun::Unsupported(_) => (ig_over, None, "unsupported"),
         BarracudaRun::Ran { time, failure, .. } => {
             let over = time / native.time;
@@ -29,18 +36,50 @@ fn row(w: &Workload) -> (f64, Option<f64>, &'static str) {
                 None => (ig_over, Some(over), ""),
             }
         }
-    }
+    })
 }
 
 fn main() {
+    let (driver, _rest) = DriverConfig::from_env();
+
+    let sets = [
+        ("(a) applications with races", workloads::racey()),
+        ("(b) race-free", workloads::clean()),
+    ];
+    // Three jobs per workload — native, iGUARD, Barracuda — in figure
+    // order across both panels.
+    let mut jobs = Vec::new();
+    for (_, set) in &sets {
+        for w in set {
+            jobs.push(JobSpec::new(*w, ToolSpec::Native, Size::Bench, DEFAULT_SEED).into_job());
+            jobs.push(
+                JobSpec::new(
+                    *w,
+                    ToolSpec::Iguard(IguardConfig::default()),
+                    Size::Bench,
+                    DEFAULT_SEED,
+                )
+                .into_job(),
+            );
+            jobs.push(
+                JobSpec::new(
+                    *w,
+                    ToolSpec::Barracuda(bench::barracuda_config_for(w)),
+                    Size::Bench,
+                    DEFAULT_SEED,
+                )
+                .into_job(),
+            );
+        }
+    }
+    let outcomes = run_jobs(jobs, &driver);
+
     let mut all_ig = Vec::new();
     let mut common_ig = Vec::new();
     let mut common_bar = Vec::new();
+    let mut cursor = 0usize;
 
-    for (label, set) in [
-        ("(a) applications with races", workloads::racey()),
-        ("(b) race-free", workloads::clean()),
-    ] {
+    for (label, set) in &sets {
         println!("Figure 11 {label}");
         println!(
             "{:<15} {:>9} {:>11}  note",
@@ -49,8 +88,13 @@ fn main() {
         println!("{}", "-".repeat(50));
         let mut ig_set = Vec::new();
         let mut bar_set = Vec::new();
-        for w in &set {
-            let (ig, bar, note) = row(w);
+        for w in set {
+            let triple = &outcomes[cursor..cursor + 3];
+            cursor += 3;
+            let Some((ig, bar, note)) = row(triple) else {
+                println!("{:<15} {:>9} {:>11}  DNF", w.name, "-", "-");
+                continue;
+            };
             all_ig.push(ig);
             ig_set.push(ig);
             let bar_str = match bar {

@@ -7,21 +7,61 @@
 //! Pass `--ablate` to additionally measure each optimization alone.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig12 [-- --ablate]
+//! cargo run -p bench --release --bin fig12 [-- --ablate] [-- --jobs N | --serial]
 //! ```
 
-use bench::{geomean, run_iguard, run_native, DEFAULT_SEED};
+use bench::{geomean, run_jobs, DriverConfig, JobSpec, Outcome, RunOutput, ToolSpec, DEFAULT_SEED};
 use iguard::IguardConfig;
 use workloads::Size;
 
-fn overhead(w: &workloads::Workload, cfg: IguardConfig) -> f64 {
-    let native = run_native(w, Size::Bench, DEFAULT_SEED);
-    let ig = run_iguard(w, Size::Bench, DEFAULT_SEED, cfg);
-    ig.time / native.time
+/// iGUARD time / native time from two adjacent outcomes; `None` on DNF.
+fn over(native: &Outcome<RunOutput>, ig: &Outcome<RunOutput>) -> Option<f64> {
+    let n = native.value()?.native()?;
+    let i = ig.value()?.iguard()?;
+    Some(i.time / n.time)
 }
 
 fn main() {
-    let ablate = std::env::args().any(|a| a == "--ablate");
+    let (driver, rest) = DriverConfig::from_env();
+    let ablate = rest.iter().any(|a| a == "--ablate");
+
+    // Per workload: native, then one iGUARD job per configuration column.
+    let configs: Vec<IguardConfig> = if ablate {
+        vec![
+            IguardConfig::without_contention_opts(),
+            IguardConfig {
+                coalescing: true,
+                backoff: false,
+                ..IguardConfig::default()
+            },
+            IguardConfig {
+                coalescing: false,
+                backoff: true,
+                ..IguardConfig::default()
+            },
+            IguardConfig::default(),
+        ]
+    } else {
+        vec![IguardConfig::without_contention_opts(), IguardConfig::default()]
+    };
+    let stride = configs.len() + 1;
+
+    let set: Vec<_> = workloads::all()
+        .into_iter()
+        .filter(|w| w.contention_heavy)
+        .collect();
+    let mut jobs = Vec::new();
+    for w in &set {
+        jobs.push(JobSpec::new(*w, ToolSpec::Native, Size::Bench, DEFAULT_SEED).into_job());
+        for cfg in &configs {
+            jobs.push(
+                JobSpec::new(*w, ToolSpec::Iguard(cfg.clone()), Size::Bench, DEFAULT_SEED)
+                    .into_job(),
+            );
+        }
+    }
+    let outcomes = run_jobs(jobs, &driver);
+
     println!("Figure 12: overhead with and without the contention optimizations");
     if ablate {
         println!(
@@ -37,43 +77,37 @@ fn main() {
     println!("{}", "-".repeat(72));
 
     let mut gains = Vec::new();
-    for w in workloads::all().into_iter().filter(|w| w.contention_heavy) {
-        let base = overhead(&w, IguardConfig::without_contention_opts());
-        let both = overhead(&w, IguardConfig::default());
-        gains.push(base / both);
+    for (i, w) in set.iter().enumerate() {
+        let chunk = &outcomes[i * stride..(i + 1) * stride];
+        let native = &chunk[0];
+        let cols: Vec<Option<f64>> =
+            (1..stride).map(|j| over(native, &chunk[j])).collect();
+        let (base, both) = (cols[0], cols[cols.len() - 1]);
+        let cell = |v: Option<f64>, w: usize| match v {
+            Some(x) => format!("{x:>w$.1}x", w = w),
+            None => format!("{:>w$}", "DNF", w = w + 1),
+        };
+        let gain = base.zip(both).map(|(b, o)| b / o);
+        if let Some(g) = gain {
+            gains.push(g);
+        }
         if ablate {
-            let co = overhead(
-                &w,
-                IguardConfig {
-                    coalescing: true,
-                    backoff: false,
-                    ..IguardConfig::default()
-                },
-            );
-            let bo = overhead(
-                &w,
-                IguardConfig {
-                    coalescing: false,
-                    backoff: true,
-                    ..IguardConfig::default()
-                },
-            );
             println!(
-                "{:<15} {:>9.1}x {:>11.1}x {:>11.1}x {:>9.1}x {:>7.1}x",
+                "{:<15} {} {} {} {} {}",
                 w.name,
-                base,
-                co,
-                bo,
-                both,
-                base / both
+                cell(cols[0], 9),
+                cell(cols[1], 11),
+                cell(cols[2], 11),
+                cell(cols[3], 9),
+                cell(gain, 7),
             );
         } else {
             println!(
-                "{:<15} {:>9.1}x {:>9.1}x {:>7.1}x",
+                "{:<15} {} {} {}",
                 w.name,
-                base,
-                both,
-                base / both
+                cell(cols[0], 9),
+                cell(cols[1], 9),
+                cell(gain, 7),
             );
         }
     }

@@ -6,16 +6,32 @@
 //! framework overheads dominate.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig13
+//! cargo run -p bench --release --bin fig13 [-- --jobs N | --serial]
 //! ```
 
 use std::collections::BTreeMap;
 
-use bench::{run_iguard, BREAKDOWN_LABELS, DEFAULT_SEED};
+use bench::{run_jobs, DriverConfig, JobSpec, RunOutput, ToolSpec, BREAKDOWN_LABELS, DEFAULT_SEED};
 use iguard::IguardConfig;
 use workloads::Size;
 
 fn main() {
+    let (driver, _rest) = DriverConfig::from_env();
+    let set = workloads::all();
+    let jobs = set
+        .iter()
+        .map(|w| {
+            JobSpec::new(
+                *w,
+                ToolSpec::Iguard(IguardConfig::default()),
+                Size::Bench,
+                DEFAULT_SEED,
+            )
+            .into_job()
+        })
+        .collect();
+    let outcomes = run_jobs(jobs, &driver);
+
     println!("Figure 13: breakdown of application runtime under iGUARD (% of total)");
     println!();
     print!("{:<10}", "Suite");
@@ -26,8 +42,12 @@ fn main() {
     println!("{}", "-".repeat(10 + 17 * 6));
 
     let mut suites: BTreeMap<&str, ([f64; 6], usize)> = BTreeMap::new();
-    for w in workloads::all() {
-        let ig = run_iguard(&w, Size::Bench, DEFAULT_SEED, IguardConfig::default());
+    let mut dnf = Vec::new();
+    for (w, o) in set.iter().zip(&outcomes) {
+        let Some(ig) = o.value().and_then(RunOutput::iguard) else {
+            dnf.push(w.name);
+            continue;
+        };
         let total: f64 = ig.breakdown.iter().sum();
         let entry = suites.entry(w.suite.name()).or_insert(([0.0; 6], 0));
         for i in 0..6 {
@@ -42,6 +62,9 @@ fn main() {
             print!(" {:>15.1}%", 100.0 * s / n as f64);
         }
         println!();
+    }
+    if !dnf.is_empty() {
+        println!("DNF (excluded from averages): {}", dnf.join(", "));
     }
     println!();
     println!("paper observations to check:");

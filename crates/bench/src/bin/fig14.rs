@@ -10,17 +10,19 @@
 //! metadata touches across the correspondingly larger managed region.
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig14
+//! cargo run -p bench --release --bin fig14 [-- --jobs N | --serial]
 //! ```
 
-use bench::{gpu_config, DEFAULT_SEED};
+use bench::{gpu_config, run_jobs_strict, DriverConfig, Job, DEFAULT_SEED};
 use gpu_sim::hook::NullHook;
 use gpu_sim::machine::Gpu;
 use iguard::{Iguard, IguardConfig};
 use nvbit_sim::Instrumented;
+use uvm_sim::UvmStats;
 use workloads::{Size, Workload};
 
 const GB: u64 = 1 << 30;
+const FOOTPRINTS_GB: [u64; 5] = [1, 2, 4, 8, 16];
 
 /// Builds d_reduce with its buffers *logically* inflated to `footprint`.
 fn build_scaled(gpu: &mut Gpu, footprint: u64) -> Vec<workloads::Launch> {
@@ -40,7 +42,95 @@ fn addr_scale_for(footprint: u64, backing_bytes: u64) -> u64 {
     (footprint / backing_bytes.max(1)).max(1)
 }
 
+/// Native runtime of d_reduce at the inflated footprint.
+fn native_scaled(footprint: u64) -> f64 {
+    let mut gpu = Gpu::new(gpu_config(DEFAULT_SEED));
+    let launches = build_scaled(&mut gpu, footprint);
+    for l in &launches {
+        gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
+            .unwrap();
+    }
+    gpu.clock().total_time()
+}
+
+/// iGUARD runtime + UVM counters at the inflated footprint.
+fn iguard_scaled(footprint: u64) -> (f64, UvmStats) {
+    let mut gpu = Gpu::new(gpu_config(DEFAULT_SEED));
+    let before = gpu.allocated_bytes();
+    let launches = {
+        let w = workloads::by_name("d_reduce").expect("d_reduce exists");
+        w.build(&mut gpu, Size::Bench)
+    };
+    let backing_bytes = gpu.allocated_bytes() - before;
+    gpu.alloc_logical(16, footprint.saturating_sub(gpu.allocated_bytes()))
+        .expect("logical footprint fits");
+    let cfg = IguardConfig {
+        addr_scale: addr_scale_for(footprint, backing_bytes),
+        ..IguardConfig::default()
+    };
+    let mut tool = Instrumented::new(Iguard::new(cfg));
+    for l in &launches {
+        gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool)
+            .unwrap();
+    }
+    (gpu.clock().total_time(), tool.tool().uvm_stats())
+}
+
+/// Barracuda's flat serialized-detection overhead on d_reduce — footprint
+/// independent when its reservation fits.
+fn barracuda_flat_overhead() -> Option<f64> {
+    let w: Workload = workloads::by_name("d_reduce").unwrap();
+    let native_run = bench::run_native(&w, Size::Bench, DEFAULT_SEED);
+    match bench::run_barracuda(&w, Size::Bench, DEFAULT_SEED, bench::barracuda_config_for(&w)) {
+        bench::BarracudaRun::Ran { time, .. } => Some(time / native_run.time),
+        _ => None,
+    }
+}
+
+/// One measured row of the figure.
+#[derive(Debug)]
+struct Row {
+    ig_over: f64,
+    uvm: UvmStats,
+    barracuda_fits: bool,
+}
+
+fn measure(gb: u64) -> Row {
+    let footprint = gb * GB;
+    let native = native_scaled(footprint);
+    let (ig_time, uvm) = iguard_scaled(footprint);
+    // Barracuda's reservation policy: 50% of capacity + footprint shadow.
+    let capacity = gpu_config(DEFAULT_SEED).device_mem_bytes;
+    let needed = capacity / 2 + 2 * footprint;
+    Row {
+        ig_over: ig_time / native,
+        uvm,
+        barracuda_fits: needed <= capacity,
+    }
+}
+
 fn main() {
+    let (driver, _rest) = DriverConfig::from_env();
+
+    // One job per footprint, plus one job for Barracuda's flat overhead
+    // (reused for every footprint where its reservation fits).
+    enum Out {
+        Row(Row),
+        BarOver(Option<f64>),
+    }
+    let mut jobs: Vec<Job<Out>> = FOOTPRINTS_GB
+        .into_iter()
+        .map(|gb| Job::custom(format!("d_reduce/footprint {gb}GB"), move || Out::Row(measure(gb))))
+        .collect();
+    jobs.push(Job::custom("d_reduce/barracuda flat", || {
+        Out::BarOver(barracuda_flat_overhead())
+    }));
+    let mut outs = run_jobs_strict(jobs, &driver);
+
+    let Some(Out::BarOver(bar_over)) = outs.pop() else {
+        unreachable!("last job is the Barracuda overhead")
+    };
+
     println!("Figure 14: overheads with memory footprint scaling (d_reduce)");
     println!();
     println!(
@@ -49,67 +139,21 @@ fn main() {
     );
     println!("{}", "-".repeat(66));
 
-    for gb in [1u64, 2, 4, 8, 16] {
-        let footprint = gb * GB;
-
-        // Native baseline at this footprint.
-        let mut gpu = Gpu::new(gpu_config(DEFAULT_SEED));
-        let launches = build_scaled(&mut gpu, footprint);
-        for l in &launches {
-            gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook)
-                .unwrap();
-        }
-        let native = gpu.clock().total_time();
-
-        // iGUARD with UVM-backed metadata.
-        let mut gpu = Gpu::new(gpu_config(DEFAULT_SEED));
-        let before = gpu.allocated_bytes();
-        let launches = {
-            let w = workloads::by_name("d_reduce").expect("d_reduce exists");
-            w.build(&mut gpu, Size::Bench)
+    for (gb, out) in FOOTPRINTS_GB.into_iter().zip(outs) {
+        let Out::Row(row) = out else {
+            unreachable!("footprint rows precede the Barracuda job")
         };
-        let backing_bytes = gpu.allocated_bytes() - before;
-        gpu.alloc_logical(16, footprint.saturating_sub(gpu.allocated_bytes()))
-            .expect("logical footprint fits");
-        let cfg = IguardConfig {
-            addr_scale: addr_scale_for(footprint, backing_bytes),
-            ..IguardConfig::default()
-        };
-        let mut tool = Instrumented::new(Iguard::new(cfg));
-        for l in &launches {
-            gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool)
-                .unwrap();
-        }
-        let ig_over = gpu.clock().total_time() / native;
-        let uvm = tool.tool().uvm_stats();
-
-        // Barracuda's reservation policy: 50% of capacity + footprint shadow.
-        let capacity = gpu.config().device_mem_bytes;
-        let needed = capacity / 2 + 2 * footprint;
-        let barracuda = if needed > capacity {
+        let barracuda = if !row.barracuda_fits {
             "OOM".to_string()
         } else {
-            // When it fits, its overhead does not depend on footprint;
-            // report the flat serialized-detection overhead measured in
-            // Figure 11 for d_reduce.
-            let w: Workload = workloads::by_name("d_reduce").unwrap();
-            let native_run = bench::run_native(&w, Size::Bench, DEFAULT_SEED);
-            match bench::run_barracuda(
-                &w,
-                Size::Bench,
-                DEFAULT_SEED,
-                bench::barracuda_config_for(&w),
-            ) {
-                bench::BarracudaRun::Ran { time, .. } => {
-                    format!("{:9.1}x", time / native_run.time)
-                }
-                _ => "-".to_string(),
+            match bar_over {
+                Some(over) => format!("{over:9.1}x"),
+                None => "-".to_string(),
             }
         };
-
         println!(
             "{:>7} GB {:>11.1}x {:>14} {:>12} {:>12}",
-            gb, ig_over, uvm.faults, uvm.evictions, barracuda
+            gb, row.ig_over, row.uvm.faults, row.uvm.evictions, barracuda
         );
     }
     println!();

@@ -10,7 +10,7 @@
 //! cargo run -p bench --release --bin iguard_run -- conjugGMB --no-coalesce --no-backoff
 //! ```
 
-use bench::{gpu_config, BREAKDOWN_LABELS};
+use bench::{gpu_config, run_jobs, DriverConfig, Job, Outcome, BREAKDOWN_LABELS};
 use gpu_sim::disasm;
 use gpu_sim::machine::Gpu;
 use gpu_sim::timing::COST_CATEGORIES;
@@ -30,7 +30,7 @@ struct Args {
     list: bool,
 }
 
-fn parse_args() -> Args {
+fn parse_args(rest: Vec<String>) -> Args {
     let mut args = Args {
         workload: None,
         detector: "iguard".into(),
@@ -42,7 +42,7 @@ fn parse_args() -> Args {
         history: 1,
         list: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = rest.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => args.list = true,
@@ -62,7 +62,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: iguard_run <workload> [--detector iguard|barracuda|curd|none] \
                      [--size test|bench] [--seed N] [--context N] [--history N] \
-                     [--no-coalesce] [--no-backoff] | --list"
+                     [--no-coalesce] [--no-backoff] \
+                     [--jobs N | --serial] [--timeout-secs N] | --list"
                 );
                 std::process::exit(0);
             }
@@ -112,7 +113,9 @@ fn list_workloads() {
 }
 
 fn main() {
-    let args = parse_args();
+    let (mut driver, rest) = DriverConfig::from_env();
+    driver.progress = false; // single run: the report itself is the output
+    let args = parse_args(rest);
     if args.list {
         list_workloads();
         return;
@@ -125,15 +128,35 @@ fn main() {
         eprintln!("unknown workload `{name}`; try --list");
         std::process::exit(2);
     };
+    if !matches!(args.detector.as_str(), "iguard" | "barracuda" | "curd" | "none") {
+        eprintln!(
+            "unknown detector `{}` (iguard|barracuda|curd|none)",
+            args.detector
+        );
+        std::process::exit(2);
+    }
 
-    match args.detector.as_str() {
+    // The run rides the driver as one job: a panicking or hung workload is
+    // reported as DNF instead of taking the shell down with it.
+    let label = format!("{}/{}", w.name, args.detector);
+    let job = Job::custom(label.clone(), move || match args.detector.as_str() {
         "iguard" => run_iguard(&w, &args),
         "barracuda" => run_barracuda(&w, &args),
         "curd" => run_curd(&w, &args),
-        "none" => run_native(&w, &args),
-        other => {
-            eprintln!("unknown detector `{other}` (iguard|barracuda|curd|none)");
-            std::process::exit(2);
+        _ => run_native(&w, &args),
+    });
+    match run_jobs(vec![job], &driver).remove(0) {
+        Outcome::Done { .. } => {}
+        Outcome::Panicked { message, .. } => {
+            eprintln!("{label}: DNF (panicked: {message})");
+            std::process::exit(1);
+        }
+        Outcome::TimedOut { elapsed } => {
+            eprintln!(
+                "{label}: DNF (deadline {:.0}s exceeded)",
+                elapsed.as_secs_f64()
+            );
+            std::process::exit(1);
         }
     }
 }

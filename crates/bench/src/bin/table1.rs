@@ -5,10 +5,10 @@
 //! Barracuda.
 //!
 //! ```text
-//! cargo run -p bench --release --bin table1
+//! cargo run -p bench --release --bin table1 [-- --jobs N | --serial]
 //! ```
 
-use bench::{gpu_config, DEFAULT_SEED};
+use bench::{gpu_config, run_jobs_strict, DriverConfig, Job, DEFAULT_SEED};
 use gpu_sim::error::SimError;
 use gpu_sim::machine::Gpu;
 use gpu_sim::prelude::*;
@@ -170,7 +170,55 @@ fn barracuda_outcome(k: &Kernel, grid: u32) -> &'static str {
     }
 }
 
+/// `(feature, probe constructor, grid, paper row)`.
+type Probe = (&'static str, fn() -> Kernel, u32, &'static str);
+
 fn main() {
+    let (driver, _rest) = DriverConfig::from_env();
+    let probes: [Probe; 4] = [
+        (
+            "Sc. fence",
+            scoped_fence_probe,
+            2,
+            "Yes / Yes / Yes / Yes",
+        ),
+        (
+            "Sc. atomic",
+            scoped_atomic_probe,
+            2,
+            "No(unsup) / No / Yes / Yes",
+        ),
+        ("ITS", its_probe, 1, "No / Lim / No / Yes"),
+        ("CG", cg_probe, 1, "No / No / No / Yes"),
+    ];
+
+    // Four tool columns per probe, each a custom job building its own
+    // kernel (probe constructors are plain fn pointers, trivially Send).
+    let mut jobs: Vec<Job<&'static str>> = Vec::new();
+    for (name, probe, grid, _) in probes {
+        jobs.push(Job::custom(format!("{name}/barracuda"), move || {
+            barracuda_outcome(&probe(), grid)
+        }));
+        jobs.push(Job::custom(format!("{name}/curd"), move || {
+            curd_outcome(&probe(), grid)
+        }));
+        jobs.push(Job::custom(format!("{name}/scord"), move || {
+            if iguard_detects(&probe(), grid, IguardConfig::scord_like()) {
+                "Yes"
+            } else {
+                "No"
+            }
+        }));
+        jobs.push(Job::custom(format!("{name}/iguard"), move || {
+            if iguard_detects(&probe(), grid, IguardConfig::default()) {
+                "Yes"
+            } else {
+                "No"
+            }
+        }));
+    }
+    let cells = run_jobs_strict(jobs, &driver);
+
     println!("Table 1 (functional): race-class support, measured by probe kernels");
     println!();
     println!(
@@ -178,35 +226,13 @@ fn main() {
         "feature", "Barracuda", "CURD", "ScoRD*", "iGUARD"
     );
     println!("{}", "-".repeat(86));
-    let probes: [(&str, Kernel, u32, &str); 4] = [
-        (
-            "Sc. fence",
-            scoped_fence_probe(),
-            2,
-            "Yes / Yes / Yes / Yes",
-        ),
-        (
-            "Sc. atomic",
-            scoped_atomic_probe(),
-            2,
-            "No(unsup) / No / Yes / Yes",
-        ),
-        ("ITS", its_probe(), 1, "No / Lim / No / Yes"),
-        ("CG", cg_probe(), 1, "No / No / No / Yes"),
-    ];
-    for (name, k, grid, paper) in probes {
-        let ig = if iguard_detects(&k, grid, IguardConfig::default()) {
-            "Yes"
-        } else {
-            "No"
-        };
-        let scord = if iguard_detects(&k, grid, IguardConfig::scord_like()) {
-            "Yes"
-        } else {
-            "No"
-        };
-        let bar = barracuda_outcome(&k, grid);
-        let curd = curd_outcome(&k, grid);
+    for (i, (name, _, _, paper)) in probes.iter().enumerate() {
+        let [bar, curd, scord, ig] = [
+            cells[4 * i],
+            cells[4 * i + 1],
+            cells[4 * i + 2],
+            cells[4 * i + 3],
+        ];
         println!("{name:<12} {bar:>10} {curd:>10} {scord:>10} {ig:>10}   ({paper})");
     }
     println!();

@@ -2,22 +2,49 @@
 //! the racey workloads, with race types.
 //!
 //! ```text
-//! cargo run -p bench --release --bin table4 [-- --bench]
+//! cargo run -p bench --release --bin table4 [-- --bench] [-- --jobs N | --serial]
 //! ```
 //!
 //! `--bench` re-runs detection at the larger benchmark grid sizes; counts
-//! must be identical (the seeded sites are scale-invariant).
+//! must be identical (the seeded sites are scale-invariant). Runs fan out
+//! over the experiment driver; output is identical for any `--jobs`.
 
-use bench::{kinds_summary, run_barracuda, run_iguard, BarracudaRun, DEFAULT_SEED};
+use bench::{
+    kinds_summary, run_jobs, BarracudaRun, DriverConfig, JobSpec, RunOutput, ToolSpec,
+    DEFAULT_SEED,
+};
 use iguard::IguardConfig;
 use workloads::{BarracudaExpectation, Size};
 
 fn main() {
-    let size = if std::env::args().any(|a| a == "--bench") {
+    let (driver, rest) = DriverConfig::from_env();
+    let size = if rest.iter().any(|a| a == "--bench") {
         Size::Bench
     } else {
         Size::Test
     };
+
+    // One iGUARD and one Barracuda job per racey workload, submitted in
+    // table order; the driver returns outcomes in the same order.
+    let table = workloads::racey();
+    let mut jobs = Vec::new();
+    for w in &table {
+        jobs.push(
+            JobSpec::new(*w, ToolSpec::Iguard(IguardConfig::default()), size, DEFAULT_SEED)
+                .into_job(),
+        );
+        jobs.push(
+            JobSpec::new(
+                *w,
+                ToolSpec::Barracuda(bench::barracuda_config_for(w)),
+                Size::Test,
+                DEFAULT_SEED,
+            )
+            .into_job(),
+        );
+    }
+    let outcomes = run_jobs(jobs, &driver);
+
     println!("Table 4: Races detected by Barracuda and iGUARD");
     println!("(paper column = counts reported in the paper; measured = this reproduction)");
     println!();
@@ -30,21 +57,32 @@ fn main() {
     let mut total_paper = 0;
     let mut total_measured = 0;
     let mut mismatches = Vec::new();
-    for w in workloads::racey() {
-        let ig = run_iguard(&w, size, DEFAULT_SEED, IguardConfig::default());
-        let measured = ig.sites.len();
+    let mut dnf = 0usize;
+    for (i, w) in table.iter().enumerate() {
+        let ig = outcomes[2 * i].value().and_then(RunOutput::iguard);
+        let bar = outcomes[2 * i + 1].value().and_then(RunOutput::barracuda);
         total_paper += w.paper_races;
-        total_measured += measured;
 
-        let bar = run_barracuda(
-            &w,
-            Size::Test,
-            DEFAULT_SEED,
-            bench::barracuda_config_for(&w),
-        );
-        let bar_str = match &bar {
-            BarracudaRun::Unsupported(u) => format!("unsup({u})"),
-            BarracudaRun::Ran { races, failure, .. } => match failure {
+        let (measured_str, types_str) = match ig {
+            Some(r) => {
+                total_measured += r.sites.len();
+                if r.sites.len() != w.paper_races {
+                    mismatches.push((w.name, w.paper_races, r.sites.len(), r.sites.clone()));
+                }
+                (r.sites.len().to_string(), kinds_summary(&r.sites))
+            }
+            None => {
+                dnf += 1;
+                ("DNF".to_string(), String::new())
+            }
+        };
+        let bar_str = match bar {
+            None => {
+                dnf += 1;
+                "DNF".to_string()
+            }
+            Some(BarracudaRun::Unsupported(u)) => format!("unsup({u})"),
+            Some(BarracudaRun::Ran { races, failure, .. }) => match failure {
                 Some(barracuda::BarracudaFailure::DidNotTerminate) => format!("{races}*"),
                 Some(barracuda::BarracudaFailure::OutOfMemory { .. }) => "OOM".to_string(),
                 None => races.to_string(),
@@ -60,17 +98,17 @@ fn main() {
             w.suite.name(),
             w.name,
             w.paper_races,
-            measured,
-            kinds_summary(&ig.sites),
+            measured_str,
+            types_str,
             bar_str,
             paper_bar,
         );
-        if measured != w.paper_races {
-            mismatches.push((w.name, w.paper_races, measured, ig.sites));
-        }
     }
     println!("{}", "-".repeat(90));
     println!("TOTAL: paper {total_paper} races, measured {total_measured} races");
+    if dnf > 0 {
+        println!("({dnf} run(s) did not finish; see DNF rows)");
+    }
     if !mismatches.is_empty() {
         println!("\nmismatched workloads:");
         for (name, paper, measured, sites) in &mismatches {

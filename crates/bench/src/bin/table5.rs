@@ -3,14 +3,39 @@
 //! no-false-positives claim.
 //!
 //! ```text
-//! cargo run -p bench --release --bin table5
+//! cargo run -p bench --release --bin table5 [-- --jobs N | --serial]
 //! ```
 
-use bench::{run_barracuda, run_iguard, BarracudaRun, DEFAULT_SEED};
+use bench::{run_jobs, BarracudaRun, DriverConfig, JobSpec, RunOutput, ToolSpec, DEFAULT_SEED};
 use iguard::IguardConfig;
 use workloads::Size;
 
 fn main() {
+    let (driver, _rest) = DriverConfig::from_env();
+    let table = workloads::clean();
+    let mut jobs = Vec::new();
+    for w in &table {
+        jobs.push(
+            JobSpec::new(
+                *w,
+                ToolSpec::Iguard(IguardConfig::default()),
+                Size::Test,
+                DEFAULT_SEED,
+            )
+            .into_job(),
+        );
+        jobs.push(
+            JobSpec::new(
+                *w,
+                ToolSpec::Barracuda(bench::barracuda_config_for(w)),
+                Size::Test,
+                DEFAULT_SEED,
+            )
+            .into_job(),
+        );
+    }
+    let outcomes = run_jobs(jobs, &driver);
+
     println!("Table 5: Applications without any reported races");
     println!();
     println!(
@@ -19,31 +44,43 @@ fn main() {
     );
     println!("{}", "-".repeat(50));
     let mut false_positives = 0;
-    for w in workloads::clean() {
-        let ig = run_iguard(&w, Size::Test, DEFAULT_SEED, IguardConfig::default());
-        let bar = run_barracuda(
-            &w,
-            Size::Test,
-            DEFAULT_SEED,
-            bench::barracuda_config_for(&w),
-        );
-        let bar_str = match &bar {
-            BarracudaRun::Unsupported(_) => "unsup".to_string(),
-            BarracudaRun::Ran { races, .. } => races.to_string(),
+    let mut dnf = 0usize;
+    for (i, w) in table.iter().enumerate() {
+        let ig = outcomes[2 * i].value().and_then(RunOutput::iguard);
+        let bar = outcomes[2 * i + 1].value().and_then(RunOutput::barracuda);
+        let ig_str = match ig {
+            Some(r) => {
+                false_positives += r.sites.len();
+                r.sites.len().to_string()
+            }
+            None => {
+                dnf += 1;
+                "DNF".to_string()
+            }
+        };
+        let bar_str = match bar {
+            None => {
+                dnf += 1;
+                "DNF".to_string()
+            }
+            Some(BarracudaRun::Unsupported(_)) => "unsup".to_string(),
+            Some(BarracudaRun::Ran { races, .. }) => {
+                false_positives += races;
+                races.to_string()
+            }
         };
         println!(
             "{:<10} {:<15} {:>7} {:>10}",
             w.suite.name(),
             w.name,
-            ig.sites.len(),
+            ig_str,
             bar_str
         );
-        false_positives += ig.sites.len();
-        if let BarracudaRun::Ran { races, .. } = bar {
-            false_positives += races;
-        }
     }
     println!("{}", "-".repeat(50));
+    if dnf > 0 {
+        println!("({dnf} run(s) did not finish; see DNF rows)");
+    }
     if false_positives == 0 {
         println!(
             "zero false positives across all {} race-free workloads ✓",

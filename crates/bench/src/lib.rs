@@ -9,13 +9,19 @@
 
 #![forbid(unsafe_code)]
 
+pub mod driver;
+pub mod job;
+
 use barracuda::{Barracuda, BarracudaConfig, BarracudaFailure, BinaryKind};
 use gpu_sim::hook::{ExecMode, NullHook};
-use gpu_sim::machine::{Gpu, GpuConfig};
+use gpu_sim::machine::{Gpu, GpuConfig, LaunchStats};
 use gpu_sim::timing::{CostCategory, COST_CATEGORIES};
 use iguard::{Iguard, IguardConfig, RaceSite};
 use nvbit_sim::Instrumented;
 use workloads::{Size, Workload};
+
+pub use driver::{available_jobs, run_jobs, run_jobs_strict, DriverConfig, Outcome};
+pub use job::{Job, JobSpec, RunOutput, ToolSpec};
 
 /// Default schedule seed used by every harness (deterministic results).
 pub const DEFAULT_SEED: u64 = 42;
@@ -36,27 +42,45 @@ pub fn gpu_config(seed: u64) -> GpuConfig {
 pub struct NativeRun {
     /// Simulated time (cycles, parallelism-adjusted).
     pub time: f64,
+    /// Aggregate execution statistics across all launches (determinism
+    /// witness: identical for identical `(workload, size, config)`).
+    pub stats: LaunchStats,
     /// Whether the watchdog killed the run.
     pub timed_out: bool,
 }
 
-/// Runs `w` natively and returns its simulated time.
+/// Runs `w` natively with the evaluation GPU configuration for `seed`.
 #[must_use]
 pub fn run_native(w: &Workload, size: Size, seed: u64) -> NativeRun {
-    let mut gpu = Gpu::new(gpu_config(seed));
+    run_native_with(w, size, gpu_config(seed))
+}
+
+/// Runs `w` natively under an explicit GPU configuration.
+#[must_use]
+pub fn run_native_with(w: &Workload, size: Size, gcfg: GpuConfig) -> NativeRun {
+    let mut gpu = Gpu::new(gcfg);
     let launches = w.build(&mut gpu, size);
     let mut timed_out = false;
+    let mut stats = LaunchStats::default();
     for l in &launches {
         match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook) {
-            Ok(_) => {}
+            Ok(s) => accumulate(&mut stats, &s),
             Err(gpu_sim::error::SimError::Timeout { .. }) => timed_out = true,
             Err(e) => panic!("{} failed natively: {e}", w.name),
         }
     }
     NativeRun {
         time: gpu.clock().total_time(),
+        stats,
         timed_out,
     }
+}
+
+/// Sums launch statistics across a workload's kernel launches.
+fn accumulate(acc: &mut LaunchStats, s: &LaunchStats) {
+    acc.steps += s.steps;
+    acc.dyn_instrs += s.dyn_instrs;
+    acc.lane_instrs += s.lane_instrs;
 }
 
 /// Outcome of one iGUARD-instrumented run.
@@ -73,20 +97,30 @@ pub struct IguardRun {
     pub stats: iguard::IguardStats,
     /// UVM counters of the metadata region.
     pub uvm: uvm_sim::UvmStats,
+    /// Aggregate execution statistics across all launches (determinism
+    /// witness: identical for identical `(workload, size, config)`).
+    pub stats_exec: LaunchStats,
     /// Whether the watchdog killed the run (races still reported).
     pub timed_out: bool,
 }
 
-/// Runs `w` under iGUARD with the given detector configuration.
+/// Runs `w` under iGUARD with the evaluation GPU configuration for `seed`.
 #[must_use]
 pub fn run_iguard(w: &Workload, size: Size, seed: u64, cfg: IguardConfig) -> IguardRun {
-    let mut gpu = Gpu::new(gpu_config(seed));
+    run_iguard_with(w, size, gpu_config(seed), cfg)
+}
+
+/// Runs `w` under iGUARD with an explicit GPU configuration.
+#[must_use]
+pub fn run_iguard_with(w: &Workload, size: Size, gcfg: GpuConfig, cfg: IguardConfig) -> IguardRun {
+    let mut gpu = Gpu::new(gcfg);
     let launches = w.build(&mut gpu, size);
     let mut tool = Instrumented::new(Iguard::new(cfg));
     let mut timed_out = false;
+    let mut stats_exec = LaunchStats::default();
     for l in &launches {
         match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool) {
-            Ok(_) => {}
+            Ok(s) => accumulate(&mut stats_exec, &s),
             Err(gpu_sim::error::SimError::Timeout { .. }) => timed_out = true,
             Err(e) => panic!("{} failed under iGUARD: {e}", w.name),
         }
@@ -103,6 +137,7 @@ pub fn run_iguard(w: &Workload, size: Size, seed: u64, cfg: IguardConfig) -> Igu
         sites: det.race_sites(),
         stats: det.stats(),
         uvm: det.uvm_stats(),
+        stats_exec,
         timed_out,
     }
 }
@@ -125,10 +160,23 @@ pub enum BarracudaRun {
     },
 }
 
-/// Runs `w` under the Barracuda baseline.
+/// Runs `w` under Barracuda with the evaluation GPU configuration for
+/// `seed`.
 #[must_use]
 pub fn run_barracuda(w: &Workload, size: Size, seed: u64, cfg: BarracudaConfig) -> BarracudaRun {
-    let mut gpu = Gpu::new(gpu_config(seed));
+    run_barracuda_with(w, size, gpu_config(seed), cfg)
+}
+
+/// Runs `w` under the Barracuda baseline with an explicit GPU
+/// configuration.
+#[must_use]
+pub fn run_barracuda_with(
+    w: &Workload,
+    size: Size,
+    gcfg: GpuConfig,
+    cfg: BarracudaConfig,
+) -> BarracudaRun {
+    let mut gpu = Gpu::new(gcfg);
     let launches = w.build(&mut gpu, size);
     let kind = if w.multi_file {
         BinaryKind::MultiFile

@@ -1,0 +1,67 @@
+//! Serial-vs-parallel equivalence: the driver's result stream must be
+//! byte-identical (on the runs' Debug forms) whether the sweep uses one
+//! worker or several — the property that makes `--jobs N` safe for every
+//! table and figure.
+
+use bench::{run_jobs, DriverConfig, JobSpec, Outcome, RunOutput, ToolSpec, DEFAULT_SEED};
+use iguard::IguardConfig;
+use workloads::Size;
+
+/// A small racey + clean sample (kept quick: the whole sweep runs twice).
+const SAMPLE: [&str; 6] = [
+    "graph-color",   // racey, atomic-scope
+    "uts",           // racey, improper locking
+    "interac",       // racey, ITS
+    "b_reduce",      // clean
+    "d_scan",        // clean
+    "louvain",       // racey, multi-file
+];
+
+fn sweep(cfg: &DriverConfig) -> Vec<String> {
+    let jobs = SAMPLE
+        .iter()
+        .flat_map(|name| {
+            let w = workloads::by_name(name).expect("sample workload exists");
+            [
+                JobSpec::new(w, ToolSpec::Native, Size::Test, DEFAULT_SEED).into_job(),
+                JobSpec::new(
+                    w,
+                    ToolSpec::Iguard(IguardConfig::default()),
+                    Size::Test,
+                    DEFAULT_SEED,
+                )
+                .into_job(),
+            ]
+        })
+        .collect();
+    run_jobs(jobs, cfg)
+        .into_iter()
+        .map(|o| match o {
+            Outcome::Done { value, .. } => render(&value),
+            other => panic!("sample job did not finish: {other:?}"),
+        })
+        .collect()
+}
+
+/// Debug form stripped of nothing: simulated results carry no wall-clock
+/// or thread-dependent state, so the full Debug string must match.
+fn render(out: &RunOutput) -> String {
+    format!("{out:?}")
+}
+
+#[test]
+fn parallel_results_are_byte_identical_to_serial() {
+    let serial = sweep(&DriverConfig::serial());
+    let parallel = sweep(&DriverConfig::parallel(4));
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "result {i} diverged between serial and 4-worker runs");
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let two = sweep(&DriverConfig::parallel(2));
+    let eight = sweep(&DriverConfig::parallel(8));
+    assert_eq!(two, eight);
+}

@@ -87,7 +87,7 @@ pub struct Allocation {
 }
 
 /// Summary of a completed launch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LaunchStats {
     /// Scheduler steps (warp-split executions).
     pub steps: u64,

@@ -147,6 +147,16 @@ impl RaceKind {
     }
 }
 
+/// Figure 9's improper-locking signature: both sides hold locks, yet the
+/// locksets share no member. Mutual exclusion was *intended* and did not
+/// happen, so neither lockstep convergence (P4's in-mask clause) nor the
+/// happens-before ordering of one particular schedule (R2–R4) makes the
+/// pair safe — the next schedule interleaves the critical sections.
+#[must_use]
+fn disjointly_locked(entry: &MetadataEntry, curr: &CurrAccess) -> bool {
+    entry.locks != 0 && curr.locks != 0 && entry.locks & curr.locks == 0
+}
+
 /// Runs P2–P6 (P1, the validity check, is handled by the caller before the
 /// entry is materialized). Returns the first satisfied condition.
 #[must_use]
@@ -173,10 +183,14 @@ pub fn preliminary(
     // P4: warp-synced access — same warp, and either an intervening
     // __syncwarp (warp-barrier counters differ) or the previous accessor is
     // in the current active mask (converged: lockstep ordering applies).
+    // Convergence does NOT excuse a disjointly-locked pair: two critical
+    // sections under different locks entered together are Figure 9's bug,
+    // not lockstep-ordered code. An explicit __syncwarp still does.
     if !flags.dev_shared
         && !flags.blk_shared
         && curr.warp_id == md.info.warp_id
-        && (md.info.warp_bar != curr.snap.warp_bar || curr.active_mask & (1 << md.info.lane) != 0)
+        && (md.info.warp_bar != curr.snap.warp_bar
+            || (curr.active_mask & (1 << md.info.lane) != 0 && !disjointly_locked(entry, curr)))
     {
         return Some(Safe::WarpSynced);
     }
@@ -228,6 +242,15 @@ pub fn detailed(
     // atomics but crossed a block boundary.
     if flags.atomic && flags.scope_block && writer_block != curr.block_id {
         return Some(RaceKind::AtomicScope);
+    }
+
+    // R5 (hoisted): both sides locked with an empty intersection — the
+    // Figure 9 class. Checked before R2–R4 so the verdict is the same on
+    // every schedule: a split schedule would otherwise classify the same
+    // buggy pair as an ITS/BR/DR race, and a schedule where the first
+    // thread's unlock fence already landed would suppress R2–R4 entirely.
+    if disjointly_locked(entry, curr) {
+        return Some(RaceKind::Locking);
     }
 
     // R2: intra-warp (ITS) race — same warp, no fence by md's thread since
@@ -633,6 +656,89 @@ mod tests {
             None,
             "common lock ⇒ no P or R satisfied"
         );
+    }
+
+    #[test]
+    fn p4_convergence_does_not_excuse_disjoint_locks() {
+        // Figure 9 under lockstep: both lanes entered their differently-
+        // locked critical sections together. P4's in-mask clause must not
+        // mark the pair safe, and the verdict must be IL on this schedule
+        // too (not ITS via R2).
+        let mut f = valid_flags();
+        f.modified = true;
+        let prev = info(2, 0);
+        let mut e = entry_with(f, prev, prev);
+        e.locks = 0b0011;
+        let m = md(prev);
+        let mut c = curr(AccessType::Store, 2, 1);
+        c.active_mask = 0b11; // previous accessor's lane is converged
+        c.locks = 0b1100;
+        assert_eq!(preliminary(&e, &m, &c, WPB), None);
+        assert_eq!(detailed(&e, &m, &c, WPB), Some(RaceKind::Locking));
+    }
+
+    #[test]
+    fn p4_convergence_still_excuses_common_lock() {
+        let mut f = valid_flags();
+        f.modified = true;
+        let prev = info(2, 0);
+        let mut e = entry_with(f, prev, prev);
+        e.locks = 0b0110;
+        let m = md(prev);
+        let mut c = curr(AccessType::Store, 2, 1);
+        c.active_mask = 0b11;
+        c.locks = 0b0110;
+        assert_eq!(preliminary(&e, &m, &c, WPB), Some(Safe::WarpSynced));
+    }
+
+    #[test]
+    fn p4_convergence_still_excuses_one_sided_locks() {
+        // Only one side holds a lock: the hierarchy of sync checks still
+        // applies (no intended-but-failed mutual exclusion between them).
+        let mut f = valid_flags();
+        f.modified = true;
+        let prev = info(2, 0);
+        let mut e = entry_with(f, prev, prev);
+        e.locks = 0b0011;
+        let m = md(prev);
+        let mut c = curr(AccessType::Store, 2, 1);
+        c.active_mask = 0b11;
+        c.locks = 0;
+        assert_eq!(preliminary(&e, &m, &c, WPB), Some(Safe::WarpSynced));
+    }
+
+    #[test]
+    fn syncwarp_still_orders_disjointly_locked_sections() {
+        // An explicit __syncwarp between the two critical sections is real
+        // happens-before ordering; the pair is not racy.
+        let mut f = valid_flags();
+        f.modified = true;
+        let prev = info(2, 0);
+        let mut e = entry_with(f, prev, prev);
+        e.locks = 0b0011;
+        let m = md(prev);
+        let mut c = curr(AccessType::Store, 2, 1);
+        c.active_mask = 0b10; // split apart...
+        c.snap.warp_bar = prev.warp_bar + 1; // ...but syncwarp'd since
+        c.locks = 0b1100;
+        assert_eq!(preliminary(&e, &m, &c, WPB), Some(Safe::WarpSynced));
+    }
+
+    #[test]
+    fn disjoint_locks_beat_r2_on_split_schedules() {
+        // Mid-critical-section split: no fence from the previous thread
+        // yet, so R2 would fire — but the IL classification must win so
+        // the verdict does not depend on the schedule.
+        let mut f = valid_flags();
+        f.modified = true;
+        let prev = info(2, 0);
+        let mut e = entry_with(f, prev, prev);
+        e.locks = 0b0011;
+        let m = md(prev); // no fence since the access
+        let mut c = curr(AccessType::Store, 2, 1);
+        c.active_mask = 0b10; // diverged
+        c.locks = 0b1100;
+        assert_eq!(detailed(&e, &m, &c, WPB), Some(RaceKind::Locking));
     }
 
     #[test]

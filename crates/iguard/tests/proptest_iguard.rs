@@ -132,7 +132,10 @@ proptest! {
     /// only meaningful (and only used) when `preliminary` is None. Here we
     /// check the core soundness invariant instead: if the previous
     /// accessor is still *converged* with the current thread (same warp,
-    /// in-mask), no verdict can be produced by the pipeline.
+    /// in-mask), no verdict can be produced by the pipeline — with one
+    /// exception. A pair that both hold locks with an empty intersection
+    /// is Figure 9's improper-locking bug: convergence is an accident of
+    /// the schedule there, and the pipeline must report IL instead.
     #[test]
     fn converged_same_warp_accesses_are_never_racy(
         mut entry in arb_entry(),
@@ -149,7 +152,18 @@ proptest! {
         let md = if curr.kind.is_write() { entry.accessor } else { entry.writer };
         let mdv = MdView { info: md, live_dev_fence: md.dev_fence, live_blk_fence: md.blk_fence };
         let p = preliminary(&entry, &mdv, &curr, 4);
-        prop_assert!(p.is_some(), "lockstep-converged access must be proven safe");
+        let disjointly_locked =
+            entry.locks != 0 && curr.locks != 0 && entry.locks & curr.locks == 0;
+        if disjointly_locked {
+            // R1 (atomic scope) may outrank IL, but the pair must never
+            // pass the detailed tier silently on any schedule.
+            prop_assert!(
+                detailed(&entry, &mdv, &curr, 4).is_some(),
+                "disjointly-locked pair must produce a race verdict"
+            );
+        } else {
+            prop_assert!(p.is_some(), "lockstep-converged access must be proven safe");
+        }
     }
 
     /// If md's thread has device-fenced since its access, neither R2, R3

@@ -141,6 +141,7 @@ impl Suite {
 }
 
 /// One workload with its paper-reported expectations.
+#[derive(Clone, Copy)]
 pub struct Workload {
     /// Application name as in Table 4/5.
     pub name: &'static str,
