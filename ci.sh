@@ -1,7 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, full workspace tests, clippy clean.
+# With --quick, additionally runs the perf-harness smoke: a 5-workload
+# `perf --quick` sweep whose JSON is validated by re-parsing (the binary
+# exits non-zero on malformed output).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "ci.sh: unknown flag $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo build --release =="
 cargo build --release --workspace
@@ -11,5 +22,11 @@ cargo test -q --workspace --release
 
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$QUICK" -eq 1 ]]; then
+  echo "== perf smoke (--quick) =="
+  cargo run --release -p bench --bin perf -- --quick --no-progress
+  test -s target/BENCH_PR2.quick.json || { echo "perf smoke: missing/empty JSON" >&2; exit 1; }
+fi
 
 echo "CI OK"

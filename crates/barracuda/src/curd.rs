@@ -94,8 +94,8 @@ pub struct Curd {
     words: HashMap<u32, Vec<IntervalAccess>>,
     /// Dedup key includes the kernel: two kernels racing at the same pc
     /// are two distinct races.
-    seen: HashSet<(String, usize, bool)>,
-    kernel_name: String,
+    seen: HashSet<(std::sync::Arc<str>, usize, bool)>,
+    kernel_name: std::sync::Arc<str>,
     races: Vec<CpuRace>,
 }
 
@@ -115,7 +115,7 @@ impl Curd {
             block_dim: 0,
             words: HashMap::new(),
             seen: HashSet::new(),
-            kernel_name: String::new(),
+            kernel_name: std::sync::Arc::from(""),
             races: Vec::new(),
         })
     }

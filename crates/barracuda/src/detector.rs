@@ -82,7 +82,7 @@ pub struct Barracuda {
     channel: HostChannel<(u64, Event)>,
     hb: Option<HbDetector>,
     block_dim: u32,
-    kernel_name: String,
+    kernel_name: std::sync::Arc<str>,
     failure: Option<BarracudaFailure>,
     serial_shipped: u64,
     events_sent: u64,
@@ -115,7 +115,7 @@ impl Barracuda {
             channel,
             hb: None,
             block_dim: 0,
-            kernel_name: String::new(),
+            kernel_name: std::sync::Arc::from(""),
             failure: None,
             serial_shipped: 0,
             events_sent: 0,

@@ -170,6 +170,92 @@ fn bench_barracuda_end_to_end(c: &mut Criterion) {
     });
 }
 
+/// Every thread of every warp hammers the same word: the worst case for
+/// the flat contention table (one hot slot, every access contended).
+fn hot_word_kernel(rounds: u32) -> Kernel {
+    let mut b = KernelBuilder::new("bench_hot_word");
+    let base = b.param(0);
+    let tid = b.special(Special::Tid);
+    let i = b.imm(0);
+    let top = b.here();
+    let done = b.ge(i, rounds);
+    let exit_l = b.fwd_label();
+    b.bra_if(done, exit_l);
+    b.st(base, 0, tid);
+    let _ = b.ld(base, 0);
+    b.assign_add(i, i, 1u32);
+    b.bra(top);
+    b.bind(exit_l);
+    b.build()
+}
+
+/// The flat slot/tag path in isolation: strided load/store round-trips
+/// through `MetadataTable` (mask/shift slot indexing, epoch
+/// invalidation), including indices past the table so tags alias.
+fn bench_metadata_table_slots(c: &mut Criterion) {
+    use iguard::metadata::MetadataTable;
+    let uvm = IguardConfig::default().uvm;
+    let mut table = MetadataTable::new(1 << 12, uvm, 1 << 26, 1 << 26, 1);
+    let entry = MetadataEntry {
+        tag: 0,
+        flags: Flags {
+            valid: true,
+            ..Flags::default()
+        },
+        accessor: AccessorInfo {
+            warp_id: 9,
+            lane: 4,
+            ..AccessorInfo::default()
+        },
+        writer: AccessorInfo::default(),
+        locks: 0,
+    };
+    c.bench_function("metadata_table_strided_load_store", |b| {
+        b.iter(|| {
+            table.begin_epoch();
+            let mut acc = 0u64;
+            // Stride past the 2^12-entry table so half the loads alias
+            // into occupied slots with a different tag.
+            for i in (0..4096u32).map(|i| i * 3) {
+                let m = table.load(black_box(i));
+                acc += u64::from(m.entry.flags.valid);
+                table.store(i, entry);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+/// End-to-end detection with every warp contending on one word: the flat
+/// contention table (slot-indexed arrival windows + backoff) is the hot
+/// structure here.
+fn bench_flat_contention_path(c: &mut Criterion) {
+    let k = hot_word_kernel(16);
+    c.bench_function("sim_iguard_hot_word_4x64", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(small_device());
+            let buf = gpu.alloc(4).unwrap();
+            let mut tool = Instrumented::new(Iguard::new(IguardConfig::default()));
+            gpu.launch(black_box(&k), 4, 64, &[buf], &mut tool).unwrap()
+        });
+    });
+}
+
+/// Same racy kernel with an 8-deep accessor history (§6.7 ablation): the
+/// flat history ring is written on every store and walked on every check
+/// that the depth-1 path cannot decide.
+fn bench_flat_history_path(c: &mut Criterion) {
+    let k = hot_word_kernel(16);
+    c.bench_function("sim_iguard_history8_hot_word_4x64", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(small_device());
+            let buf = gpu.alloc(4).unwrap();
+            let mut tool = Instrumented::new(Iguard::new(IguardConfig::with_history(8)));
+            gpu.launch(black_box(&k), 4, 64, &[buf], &mut tool).unwrap()
+        });
+    });
+}
+
 fn bench_workloads_under_detectors(c: &mut Criterion) {
     use workloads::Size;
     let mut group = c.benchmark_group("workload_simulation");
@@ -211,6 +297,9 @@ criterion_group!(
     bench_simulator_throughput,
     bench_detector_end_to_end,
     bench_barracuda_end_to_end,
+    bench_metadata_table_slots,
+    bench_flat_contention_path,
+    bench_flat_history_path,
     bench_workloads_under_detectors
 );
 criterion_main!(benches);

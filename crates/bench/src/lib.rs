@@ -11,6 +11,7 @@
 
 pub mod driver;
 pub mod job;
+pub mod perfjson;
 
 use barracuda::{Barracuda, BarracudaConfig, BarracudaFailure, BinaryKind};
 use gpu_sim::hook::{ExecMode, NullHook};
@@ -81,6 +82,7 @@ fn accumulate(acc: &mut LaunchStats, s: &LaunchStats) {
     acc.steps += s.steps;
     acc.dyn_instrs += s.dyn_instrs;
     acc.lane_instrs += s.lane_instrs;
+    acc.phases.accumulate(&s.phases);
 }
 
 /// Outcome of one iGUARD-instrumented run.

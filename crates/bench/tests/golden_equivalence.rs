@@ -1,0 +1,167 @@
+//! Golden-equivalence gate for the hot-path optimizations.
+//!
+//! The PR-2 overhaul (flat detector state, paged flat L1, interned kernel
+//! names, predecoded dispatch) must be *semantics-preserving*: simulated
+//! cycle counts, race reports, and every table/figure output stay
+//! byte-identical to the unoptimized seed. This test pins the seed's
+//! observable outputs — race-site counts, full race-report text,
+//! `LaunchStats`, detector counters, UVM counters, and the simulated
+//! clock — across 3 schedule seeds × {ITS, lockstep} for every racey
+//! workload (Table 4) and, at the default seed, every clean workload
+//! (Table 5).
+//!
+//! The golden file was recorded from the pre-optimization build:
+//!
+//! ```text
+//! GOLDEN_WRITE=1 cargo test -p bench --release --test golden_equivalence
+//! ```
+//!
+//! Regenerating it on purpose is how a *deliberate* semantic change lands;
+//! an accidental diff here means an optimization changed behaviour.
+
+use std::fmt::Write as _;
+
+use gpu_sim::hook::ExecMode;
+use gpu_sim::machine::{Gpu, GpuConfig, LaunchStats};
+use iguard::{Iguard, IguardConfig};
+use nvbit_sim::Instrumented;
+use workloads::{Size, Workload};
+
+/// Schedule seeds the equivalence matrix covers (first is the harness
+/// default).
+const SEEDS: [u64; 3] = [bench::DEFAULT_SEED, 7, 1337];
+
+/// Watchdog for golden runs: small enough that lockstep livelocks (§6.6)
+/// resolve quickly, large enough that every Test-size workload finishes.
+const GOLDEN_MAX_STEPS: u64 = 2_000_000;
+
+fn golden_gpu(seed: u64, mode: ExecMode) -> GpuConfig {
+    GpuConfig {
+        mode,
+        max_steps: GOLDEN_MAX_STEPS,
+        ..bench::gpu_config(seed)
+    }
+}
+
+/// Runs `w` under iGUARD and renders every observable output as one
+/// pipe-separated line. Any behavioural drift — in scheduling, memory
+/// visibility, detection, cycle accounting, or reporting — changes the
+/// line.
+fn run_line(w: &Workload, seed: u64, mode: ExecMode) -> String {
+    let mut gpu = Gpu::new(golden_gpu(seed, mode));
+    let launches = w.build(&mut gpu, Size::Test);
+    let mut tool = Instrumented::new(Iguard::new(IguardConfig::default()));
+    let mut stats = LaunchStats::default();
+    let mut timed_out = false;
+    for l in &launches {
+        match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool) {
+            Ok(s) => {
+                stats.steps += s.steps;
+                stats.dyn_instrs += s.dyn_instrs;
+                stats.lane_instrs += s.lane_instrs;
+            }
+            Err(gpu_sim::error::SimError::Timeout { .. }) => timed_out = true,
+            Err(e) => panic!("{} failed under iGUARD: {e}", w.name),
+        }
+    }
+    let det = tool.tool_mut();
+    let ig = det.stats();
+    let uvm = det.uvm_stats();
+    let records = det.races();
+    let sites = iguard::report::group_sites(&records);
+
+    let mode_name = match mode {
+        ExecMode::Its => "its",
+        ExecMode::Lockstep => "lockstep",
+    };
+    let mut line = String::new();
+    write!(
+        line,
+        "{}|seed={seed}|mode={mode_name}|timeout={timed_out}|sites={}|stats={},{},{}|\
+         ig={},{},{:?},{:?},{},{},{},{}|uvm={},{},{},{},{}|time={:?}",
+        w.name,
+        sites.len(),
+        stats.steps,
+        stats.dyn_instrs,
+        stats.lane_instrs,
+        ig.accesses,
+        ig.coalesced_saved,
+        ig.safe_hits,
+        ig.race_hits,
+        ig.contended_accesses,
+        ig.contention_cycles,
+        ig.uvm_cycles,
+        ig.launches,
+        uvm.faults,
+        uvm.evictions,
+        uvm.prefaulted_pages,
+        uvm.fault_cycles,
+        uvm.prefault_cycles,
+        gpu.clock().total_time(),
+    )
+    .unwrap();
+    for r in &records {
+        write!(line, "|race={r}").unwrap();
+    }
+    line
+}
+
+/// The full equivalence matrix, in a fixed order.
+fn golden_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for w in workloads::racey() {
+        for seed in SEEDS {
+            for mode in [ExecMode::Its, ExecMode::Lockstep] {
+                lines.push(run_line(&w, seed, mode));
+            }
+        }
+    }
+    for w in workloads::clean() {
+        for mode in [ExecMode::Its, ExecMode::Lockstep] {
+            lines.push(run_line(&w, bench::DEFAULT_SEED, mode));
+        }
+    }
+    lines
+}
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/detector_golden.txt"
+);
+
+#[test]
+fn optimized_pipeline_matches_seed_golden() {
+    let lines = golden_lines();
+    let rendered = lines.join("\n") + "\n";
+    if std::env::var_os("GOLDEN_WRITE").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden file");
+        eprintln!("golden file regenerated at {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; regenerate with GOLDEN_WRITE=1");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        lines.len(),
+        "golden matrix shape changed"
+    );
+    for (i, (got, want)) in lines.iter().zip(&golden_lines).enumerate() {
+        assert_eq!(
+            got, want,
+            "row {i} diverged from the seed baseline\n  got: {got}\n want: {want}"
+        );
+    }
+}
+
+/// The same pipeline run twice must be bit-identical — catches
+/// nondeterminism introduced by e.g. iteration over hash maps in the hot
+/// path (the seed's contention/history state was `HashMap`-backed; the
+/// flat replacement must stay order-independent too).
+#[test]
+fn pipeline_is_deterministic_across_repeats() {
+    let w = workloads::by_name("uts").expect("uts exists");
+    let a = run_line(&w, bench::DEFAULT_SEED, ExecMode::Its);
+    let b = run_line(&w, bench::DEFAULT_SEED, ExecMode::Its);
+    assert_eq!(a, b);
+}

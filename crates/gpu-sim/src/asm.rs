@@ -522,7 +522,7 @@ mod tests {
         b.st(a, 0, x);
         b.exit();
         let k = b.build();
-        assert_eq!(k.name, "k");
+        assert_eq!(&*k.name, "k");
         assert!(k.code.len() >= 5);
     }
 

@@ -123,7 +123,7 @@ pub enum SyncEvent<'a> {
 /// Static launch parameters delivered to the tool at kernel entry.
 #[derive(Debug, Clone)]
 pub struct LaunchInfo {
-    pub kernel_name: String,
+    pub kernel_name: std::sync::Arc<str>,
     pub grid_dim: u32,
     pub block_dim: u32,
     pub warps_per_block: u32,

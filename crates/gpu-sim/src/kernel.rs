@@ -7,12 +7,15 @@
 //! NVBit has with real binaries.
 
 use crate::ir::Instr;
+use std::sync::Arc;
 
 /// A kernel ready to be launched on the simulated GPU.
 #[derive(Debug, Clone)]
 pub struct Kernel {
-    /// Human-readable kernel name (mangled name analogue).
-    pub name: String,
+    /// Human-readable kernel name (mangled name analogue). Interned as
+    /// `Arc<str>` so launches, instrumentation caches, and race reports
+    /// share one allocation instead of cloning `String`s per access.
+    pub name: Arc<str>,
     /// Flat instruction stream; branch targets index into this array.
     pub code: Vec<Instr>,
     /// Words of `__shared__` scratchpad each block needs.
@@ -30,7 +33,7 @@ impl Kernel {
     /// a malformed binary is a programming error in the workload, not a
     /// runtime condition.
     #[must_use]
-    pub fn new(name: impl Into<String>, code: Vec<Instr>, shared_words: usize) -> Self {
+    pub fn new(name: impl Into<Arc<str>>, code: Vec<Instr>, shared_words: usize) -> Self {
         let lines = vec![None; code.len()];
         let k = Kernel {
             name: name.into(),

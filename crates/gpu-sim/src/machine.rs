@@ -31,7 +31,8 @@ use crate::hook::{AccessKind, ExecMode, Hook, LaneAccess, LaunchInfo, MemAccess,
 use crate::ir::{AluOp, CmpOp, Instr, Operand, Reg, Space, Special, NUM_REGS, WARP_SIZE};
 use crate::kernel::Kernel;
 use crate::mem::GlobalMem;
-use crate::timing::{Clock, CostCategory, CostModel};
+use crate::timing::{Clock, CostCategory, CostModel, Phase, PhaseTimes};
+use std::time::Instant;
 
 /// Static configuration of the simulated device.
 #[derive(Debug, Clone)]
@@ -57,6 +58,10 @@ pub struct GpuConfig {
     pub warp_slots_per_sm: usize,
     /// Instruction cost table.
     pub cost: CostModel,
+    /// Measure wall-clock phase times (simulate / instrument / detect /
+    /// UVM) into [`LaunchStats::phases`]. Off by default: the hot path
+    /// then performs no clock reads.
+    pub profile_phases: bool,
 }
 
 impl Default for GpuConfig {
@@ -71,6 +76,7 @@ impl Default for GpuConfig {
             its_split_prob: 0.02,
             warp_slots_per_sm: 4,
             cost: CostModel::default(),
+            profile_phases: false,
         }
     }
 }
@@ -87,7 +93,12 @@ pub struct Allocation {
 }
 
 /// Summary of a completed launch.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Equality compares only the *semantic* execution counters — the
+/// wall-clock [`LaunchStats::phases`] are a measurement artifact of the
+/// host machine and deliberately excluded, so determinism witnesses
+/// (`assert_eq!` on two runs) hold whether or not profiling is enabled.
+#[derive(Debug, Clone, Default)]
 pub struct LaunchStats {
     /// Scheduler steps (warp-split executions).
     pub steps: u64,
@@ -95,7 +106,20 @@ pub struct LaunchStats {
     pub dyn_instrs: u64,
     /// Dynamic lane-instructions (instructions × participating lanes).
     pub lane_instrs: u64,
+    /// Wall-clock self-profiling phases for this launch (all zero unless
+    /// [`GpuConfig::profile_phases`] is set).
+    pub phases: PhaseTimes,
 }
+
+impl PartialEq for LaunchStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.steps == other.steps
+            && self.dyn_instrs == other.dyn_instrs
+            && self.lane_instrs == other.lane_instrs
+    }
+}
+
+impl Eq for LaunchStats {}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
@@ -170,10 +194,12 @@ impl Gpu {
             cfg.mem_words
         );
         let mem = GlobalMem::new(cfg.mem_words, cfg.num_sms);
+        let mut clock = Clock::new();
+        clock.set_profiling(cfg.profile_phases);
         Gpu {
             cfg,
             mem,
-            clock: Clock::new(),
+            clock,
             allocs: Vec::new(),
             // Reserve the first words so address 0 stays "null".
             bump_word: 16,
@@ -315,7 +341,9 @@ impl Gpu {
 
         let eff = (total_warps as usize).min(self.cfg.num_sms * self.cfg.warp_slots_per_sm);
         self.clock.set_parallelism(eff.max(1) as f64);
-        hook.on_kernel_launch(&info, &mut self.clock);
+        let phases_before = self.clock.phases();
+        let launch_t0 = self.clock.profiling().then(Instant::now);
+        timed_hook_call(&mut self.clock, |clock| hook.on_kernel_launch(&info, clock));
 
         let mut blocks: Vec<Block> = (0..grid_dim)
             .map(|b| Block {
@@ -330,12 +358,15 @@ impl Gpu {
             SmallRng::seed_from_u64(self.cfg.seed ^ ((grid_dim as u64) << 32) ^ block_dim as u64);
         let mut run = RunState {
             kernel,
+            code: predecode(&kernel.code, &self.cfg.cost),
             params,
             warps_per_block,
             block_dim,
             grid_dim,
             stats: LaunchStats::default(),
             live: total_threads as u64,
+            lane_scratch: Vec::with_capacity(WARP_SIZE),
+            tid_scratch: Vec::with_capacity(WARP_SIZE),
         };
 
         // Flattened (block, warp) schedule order.
@@ -343,6 +374,10 @@ impl Gpu {
             .flat_map(|b| (0..warps_per_block as usize).map(move |w| (b, w)))
             .collect();
         let mut cursor = 0usize;
+        // Scheduler scratch, reused every step (the hot loop allocates
+        // nothing).
+        let mut pcs_scratch: Vec<usize> = Vec::with_capacity(WARP_SIZE);
+        let mut lanes_scratch: Vec<usize> = Vec::with_capacity(WARP_SIZE);
 
         while run.live > 0 {
             run.stats.steps += 1;
@@ -357,29 +392,36 @@ impl Gpu {
             let mut executed = false;
             for scan in 0..warp_list.len() {
                 let (bi, wi) = warp_list[(cursor + scan) % warp_list.len()];
-                if let Some(lanes) = pick_split(
+                if pick_split(
                     &blocks[bi],
                     wi,
                     self.cfg.mode,
                     self.cfg.its_split_prob,
                     &mut rng,
+                    &mut pcs_scratch,
+                    &mut lanes_scratch,
                 ) {
                     cursor = (cursor + scan + 1) % warp_list.len();
-                    self.exec_split(&mut blocks, bi, wi, &lanes, &mut run, hook)?;
+                    self.exec_split(&mut blocks, bi, wi, &lanes_scratch, &mut run, hook)?;
                     executed = true;
                     break;
                 }
             }
             if !executed {
                 return Err(SimError::Deadlock {
-                    kernel: kernel.name.clone(),
+                    kernel: kernel.name.to_string(),
                 });
             }
         }
 
         // Implicit device-wide barrier at grid completion (§2.1).
         self.mem.flush_all();
-        hook.on_kernel_end(&info, &mut self.clock);
+        timed_hook_call(&mut self.clock, |clock| hook.on_kernel_end(&info, clock));
+        if let Some(t) = launch_t0 {
+            self.clock
+                .add_phase_ns(Phase::Total, t.elapsed().as_nanos() as u64);
+        }
+        run.stats.phases = self.clock.phases().since(&phases_before);
         Ok(run.stats)
     }
 
@@ -394,27 +436,38 @@ impl Gpu {
         hook: &mut dyn Hook,
     ) -> Result<(), SimError> {
         let kernel = run.kernel;
-        let block_id = blocks[bi].id;
-        let sm = blocks[bi].sm;
+        let block = &mut blocks[bi];
+        let block_id = block.id;
+        let sm = block.sm;
         let warp_base = wi * WARP_SIZE;
-        let pc = blocks[bi].threads[warp_base + lanes[0]].pc;
-        let instr = kernel.code[pc];
+        let pc = block.threads[warp_base + lanes[0]].pc;
+        let d = run.code[pc];
+        let instr = d.instr;
         let active_mask: u32 = lanes.iter().fold(0u32, |m, &l| m | (1 << l));
         let global_warp = block_id * run.warps_per_block + wi as u32;
-        let cost = &self.cfg.cost;
 
         run.stats.dyn_instrs += 1;
         run.stats.lane_instrs += lanes.len() as u64;
 
+        // Predecoded static cost: atomics serialize per lane (L2 ROP / SM
+        // atomic unit), everything else charges a fixed per-split cost.
+        if matches!(instr, Instr::Atom { .. }) {
+            self.clock
+                .charge(CostCategory::Native, d.cost * lanes.len() as u64);
+            self.clock
+                .charge_serial(CostCategory::Native, d.serial_cost * lanes.len() as u64);
+        } else {
+            self.clock.charge(CostCategory::Native, d.cost);
+        }
+
         macro_rules! thread {
             ($lane:expr) => {
-                blocks[bi].threads[warp_base + $lane]
+                block.threads[warp_base + $lane]
             };
         }
 
         match instr {
             Instr::Mov { rd, src } => {
-                self.clock.charge(CostCategory::Native, cost.alu);
                 for &l in lanes {
                     let v = thread!(l).operand(src);
                     let t = &mut thread!(l);
@@ -423,7 +476,6 @@ impl Gpu {
                 }
             }
             Instr::Read { rd, sp } => {
-                self.clock.charge(CostCategory::Native, cost.alu);
                 for &l in lanes {
                     let tid = (warp_base + l) as u32;
                     let v = match sp {
@@ -443,7 +495,6 @@ impl Gpu {
                 }
             }
             Instr::Param { rd, idx } => {
-                self.clock.charge(CostCategory::Native, cost.alu);
                 let v = *run
                     .params
                     .get(idx as usize)
@@ -457,14 +508,13 @@ impl Gpu {
                 }
             }
             Instr::Alu { op, rd, ra, b } => {
-                self.clock.charge(CostCategory::Native, cost.alu);
                 for &l in lanes {
                     let (a, bv) = {
                         let t = &thread!(l);
                         (t.get(ra), t.operand(b))
                     };
                     let v = eval_alu(op, a, bv).ok_or_else(|| SimError::DivideByZero {
-                        kernel: kernel.name.clone(),
+                        kernel: kernel.name.to_string(),
                         pc,
                     })?;
                     let t = &mut thread!(l);
@@ -473,7 +523,6 @@ impl Gpu {
                 }
             }
             Instr::Setp { op, rd, ra, b } => {
-                self.clock.charge(CostCategory::Native, cost.alu);
                 for &l in lanes {
                     let (a, bv) = {
                         let t = &thread!(l);
@@ -486,7 +535,6 @@ impl Gpu {
                 }
             }
             Instr::Sel { rd, cond, a, b } => {
-                self.clock.charge(CostCategory::Native, cost.alu);
                 for &l in lanes {
                     let v = {
                         let t = &thread!(l);
@@ -502,20 +550,17 @@ impl Gpu {
                 }
             }
             Instr::Bra { target } => {
-                self.clock.charge(CostCategory::Native, cost.branch);
                 for &l in lanes {
                     thread!(l).pc = target;
                 }
             }
             Instr::BraIf { cond, target } => {
-                self.clock.charge(CostCategory::Native, cost.branch);
                 for &l in lanes {
                     let taken = thread!(l).get(cond) != 0;
                     thread!(l).pc = if taken { target } else { pc + 1 };
                 }
             }
             Instr::BraIfNot { cond, target } => {
-                self.clock.charge(CostCategory::Native, cost.branch);
                 for &l in lanes {
                     let taken = thread!(l).get(cond) == 0;
                     thread!(l).pc = if taken { target } else { pc + 1 };
@@ -529,8 +574,7 @@ impl Gpu {
                 volatile,
             } => match space {
                 Space::Shared => {
-                    self.clock.charge(CostCategory::Native, cost.ld_shared);
-                    let accesses = gather_lanes(&blocks[bi], warp_base, lanes, addr, offset);
+                    gather_lanes(block, warp_base, lanes, addr, offset, &mut run.lane_scratch);
                     self.fire_mem_hook(
                         kernel,
                         pc,
@@ -540,7 +584,6 @@ impl Gpu {
                         wi as u32,
                         global_warp,
                         active_mask,
-                        &accesses,
                         run,
                         sm,
                         volatile,
@@ -548,15 +591,14 @@ impl Gpu {
                     );
                     for &l in lanes {
                         let a = effective_addr(thread!(l).get(addr), offset);
-                        let v = load_shared(&blocks[bi].shared, a)?;
+                        let v = load_shared(&block.shared, a)?;
                         let t = &mut thread!(l);
                         t.set(rd, v);
                         t.pc = pc + 1;
                     }
                 }
                 Space::Global => {
-                    self.clock.charge(CostCategory::Native, cost.ld_global);
-                    let accesses = gather_lanes(&blocks[bi], warp_base, lanes, addr, offset);
+                    gather_lanes(block, warp_base, lanes, addr, offset, &mut run.lane_scratch);
                     self.fire_mem_hook(
                         kernel,
                         pc,
@@ -566,14 +608,13 @@ impl Gpu {
                         wi as u32,
                         global_warp,
                         active_mask,
-                        &accesses,
                         run,
                         sm,
                         volatile,
                         hook,
                     );
                     for (i, &l) in lanes.iter().enumerate() {
-                        let v = self.mem.load(sm, accesses[i].addr, volatile)?;
+                        let v = self.mem.load(sm, run.lane_scratch[i].addr, volatile)?;
                         let t = &mut thread!(l);
                         t.set(rd, v);
                         t.pc = pc + 1;
@@ -588,8 +629,7 @@ impl Gpu {
                 volatile,
             } => match space {
                 Space::Shared => {
-                    self.clock.charge(CostCategory::Native, cost.st_shared);
-                    let accesses = gather_lanes(&blocks[bi], warp_base, lanes, addr, offset);
+                    gather_lanes(block, warp_base, lanes, addr, offset, &mut run.lane_scratch);
                     self.fire_mem_hook(
                         kernel,
                         pc,
@@ -599,7 +639,6 @@ impl Gpu {
                         wi as u32,
                         global_warp,
                         active_mask,
-                        &accesses,
                         run,
                         sm,
                         volatile,
@@ -610,13 +649,12 @@ impl Gpu {
                             let t = &thread!(l);
                             (effective_addr(t.get(addr), offset), t.get(val))
                         };
-                        store_shared(&mut blocks[bi].shared, a, v)?;
+                        store_shared(&mut block.shared, a, v)?;
                         thread!(l).pc = pc + 1;
                     }
                 }
                 Space::Global => {
-                    self.clock.charge(CostCategory::Native, cost.st_global);
-                    let accesses = gather_lanes(&blocks[bi], warp_base, lanes, addr, offset);
+                    gather_lanes(block, warp_base, lanes, addr, offset, &mut run.lane_scratch);
                     self.fire_mem_hook(
                         kernel,
                         pc,
@@ -626,7 +664,6 @@ impl Gpu {
                         wi as u32,
                         global_warp,
                         active_mask,
-                        &accesses,
                         run,
                         sm,
                         volatile,
@@ -634,7 +671,7 @@ impl Gpu {
                     );
                     for (i, &l) in lanes.iter().enumerate() {
                         let v = thread!(l).get(val);
-                        self.mem.store(sm, accesses[i].addr, v, volatile)?;
+                        self.mem.store(sm, run.lane_scratch[i].addr, v, volatile)?;
                         thread!(l).pc = pc + 1;
                     }
                 }
@@ -648,22 +685,7 @@ impl Gpu {
                 src,
                 cmp,
             } => {
-                let per_lane = match scope {
-                    crate::ir::Scope::Block => cost.atom_block,
-                    crate::ir::Scope::Device => cost.atom_device,
-                };
-                // Conflicting atomics serialize on hardware; charge per lane,
-                // plus a small critical-path component (the L2 ROP / SM
-                // atomic unit processes RMWs to a line one at a time).
-                self.clock
-                    .charge(CostCategory::Native, per_lane * lanes.len() as u64);
-                let serial_per_lane = match scope {
-                    crate::ir::Scope::Block => 1,
-                    crate::ir::Scope::Device => 2,
-                };
-                self.clock
-                    .charge_serial(CostCategory::Native, serial_per_lane * lanes.len() as u64);
-                let accesses = gather_lanes(&blocks[bi], warp_base, lanes, addr, offset);
+                gather_lanes(block, warp_base, lanes, addr, offset, &mut run.lane_scratch);
                 self.fire_mem_hook(
                     kernel,
                     pc,
@@ -673,7 +695,6 @@ impl Gpu {
                     wi as u32,
                     global_warp,
                     active_mask,
-                    &accesses,
                     run,
                     sm,
                     false,
@@ -684,92 +705,95 @@ impl Gpu {
                         let t = &thread!(l);
                         (t.get(src), t.get(cmp))
                     };
-                    let old = self.mem.atomic(sm, accesses[i].addr, op, s, c, scope)?;
+                    let old = self
+                        .mem
+                        .atomic(sm, run.lane_scratch[i].addr, op, s, c, scope)?;
                     let t = &mut thread!(l);
                     t.set(rd, old);
                     t.pc = pc + 1;
                 }
             }
             Instr::Membar { scope } => {
-                let c = match scope {
-                    crate::ir::Scope::Block => cost.membar_block,
-                    crate::ir::Scope::Device => cost.membar_device,
-                };
-                self.clock.charge(CostCategory::Native, c);
                 self.mem.fence(sm, scope);
-                let tids: Vec<(u32, u32)> = lanes
-                    .iter()
-                    .map(|&l| (l as u32, (warp_base + l) as u32))
-                    .collect();
-                hook.on_sync(
-                    &SyncEvent::Fence {
-                        scope,
-                        block_id,
-                        global_warp,
-                        tids: &tids,
-                        active_mask,
-                        pc,
-                        step: run.stats.steps,
-                    },
-                    &mut self.clock,
-                );
+                run.tid_scratch.clear();
+                run.tid_scratch
+                    .extend(lanes.iter().map(|&l| (l as u32, (warp_base + l) as u32)));
+                let step = run.stats.steps;
+                timed_hook_call(&mut self.clock, |clock| {
+                    hook.on_sync(
+                        &SyncEvent::Fence {
+                            scope,
+                            block_id,
+                            global_warp,
+                            tids: &run.tid_scratch,
+                            active_mask,
+                            pc,
+                            step,
+                        },
+                        clock,
+                    );
+                });
                 for &l in lanes {
                     thread!(l).pc = pc + 1;
                 }
             }
             Instr::BarSync => {
-                self.clock.charge(CostCategory::Native, cost.bar_sync);
                 for &l in lanes {
                     let t = &mut thread!(l);
                     t.status = Status::AtBlockBar;
                     t.pc = pc + 1;
                 }
-                if release_block_barrier(&mut blocks[bi]) {
-                    hook.on_sync(&SyncEvent::BlockBarrier { block_id }, &mut self.clock);
+                if release_block_barrier(block) {
+                    timed_hook_call(&mut self.clock, |clock| {
+                        hook.on_sync(&SyncEvent::BlockBarrier { block_id }, clock);
+                    });
                 }
             }
             Instr::BarWarp => {
-                self.clock.charge(CostCategory::Native, cost.bar_warp);
                 for &l in lanes {
                     let t = &mut thread!(l);
                     t.status = Status::AtWarpBar;
                     t.pc = pc + 1;
                 }
-                if release_warp_barrier(&mut blocks[bi], warp_base, run.block_dim as usize) {
-                    hook.on_sync(
-                        &SyncEvent::WarpBarrier {
-                            block_id,
-                            warp_in_block: wi as u32,
-                            global_warp,
-                        },
-                        &mut self.clock,
-                    );
+                if release_warp_barrier(block, warp_base, run.block_dim as usize) {
+                    timed_hook_call(&mut self.clock, |clock| {
+                        hook.on_sync(
+                            &SyncEvent::WarpBarrier {
+                                block_id,
+                                warp_in_block: wi as u32,
+                                global_warp,
+                            },
+                            clock,
+                        );
+                    });
                 }
             }
             Instr::Exit => {
-                self.clock.charge(CostCategory::Native, cost.alu);
                 for &l in lanes {
                     thread!(l).status = Status::Exited;
                     run.live -= 1;
                 }
                 // Exiting threads release waiters (CUDA treats exited
                 // threads as having arrived at subsequent barriers).
-                if release_block_barrier(&mut blocks[bi]) {
-                    hook.on_sync(&SyncEvent::BlockBarrier { block_id }, &mut self.clock);
+                if release_block_barrier(block) {
+                    timed_hook_call(&mut self.clock, |clock| {
+                        hook.on_sync(&SyncEvent::BlockBarrier { block_id }, clock);
+                    });
                 }
-                if release_warp_barrier(&mut blocks[bi], warp_base, run.block_dim as usize) {
-                    hook.on_sync(
-                        &SyncEvent::WarpBarrier {
-                            block_id,
-                            warp_in_block: wi as u32,
-                            global_warp,
-                        },
-                        &mut self.clock,
-                    );
+                if release_warp_barrier(block, warp_base, run.block_dim as usize) {
+                    timed_hook_call(&mut self.clock, |clock| {
+                        hook.on_sync(
+                            &SyncEvent::WarpBarrier {
+                                block_id,
+                                warp_in_block: wi as u32,
+                                global_warp,
+                            },
+                            clock,
+                        );
+                    });
                 }
             }
             Instr::Nop => {
-                self.clock.charge(CostCategory::Native, cost.alu);
                 for &l in lanes {
                     thread!(l).pc = pc + 1;
                 }
@@ -778,6 +802,8 @@ impl Gpu {
         Ok(())
     }
 
+    /// Fires the memory hook for the lanes gathered in
+    /// [`RunState::lane_scratch`].
     #[allow(clippy::too_many_arguments)]
     fn fire_mem_hook(
         &mut self,
@@ -789,7 +815,6 @@ impl Gpu {
         warp_in_block: u32,
         global_warp: u32,
         active_mask: u32,
-        lanes: &[LaneAccess],
         run: &RunState<'_>,
         sm: usize,
         volatile: bool,
@@ -805,70 +830,139 @@ impl Gpu {
             global_warp,
             active_mask,
             volatile,
-            lanes,
+            lanes: &run.lane_scratch,
             warps_per_block: run.warps_per_block,
             sm: sm as u32,
             step: run.stats.steps,
         };
-        hook.on_mem_access(&access, &mut self.clock);
+        timed_hook_call(&mut self.clock, |clock| hook.on_mem_access(&access, clock));
+    }
+}
+
+/// Runs one hook callback, attributing its wall time to [`Phase::Hook`]
+/// when profiling is enabled (a single branch when it is not).
+fn timed_hook_call(clock: &mut Clock, f: impl FnOnce(&mut Clock)) {
+    let t0 = clock.profiling().then(Instant::now);
+    f(clock);
+    if let Some(t) = t0 {
+        clock.add_phase_ns(Phase::Hook, t.elapsed().as_nanos() as u64);
     }
 }
 
 struct RunState<'a> {
     kernel: &'a Kernel,
+    /// Predecoded instruction stream (one entry per pc of `kernel.code`).
+    code: Vec<Decoded>,
     params: &'a [u32],
     warps_per_block: u32,
     block_dim: u32,
     grid_dim: u32,
     stats: LaunchStats,
     live: u64,
+    /// Reused per-split lane-access buffer (no per-access allocation).
+    lane_scratch: Vec<LaneAccess>,
+    /// Reused fence `(lane, tid)` buffer.
+    tid_scratch: Vec<(u32, u32)>,
+}
+
+/// One predecoded instruction: the raw [`Instr`] plus its launch-invariant
+/// dispatch data, resolved once per launch instead of per dynamic
+/// execution.
+#[derive(Debug, Clone, Copy)]
+struct Decoded {
+    instr: Instr,
+    /// Native cycles charged per execution (per participating lane for
+    /// atomics, whose conflicting RMWs serialize on hardware).
+    cost: u64,
+    /// Serial (critical-path) cycles per lane; non-zero only for atomics
+    /// (the L2 ROP / SM atomic unit processes RMWs to a line one at a
+    /// time).
+    serial_cost: u64,
+}
+
+/// Resolves the static cost table against each instruction of `code`.
+fn predecode(code: &[Instr], cost: &CostModel) -> Vec<Decoded> {
+    code.iter()
+        .map(|&instr| {
+            let (c, s) = match instr {
+                Instr::Bra { .. } | Instr::BraIf { .. } | Instr::BraIfNot { .. } => {
+                    (cost.branch, 0)
+                }
+                Instr::Ld { space, .. } => match space {
+                    Space::Shared => (cost.ld_shared, 0),
+                    Space::Global => (cost.ld_global, 0),
+                },
+                Instr::St { space, .. } => match space {
+                    Space::Shared => (cost.st_shared, 0),
+                    Space::Global => (cost.st_global, 0),
+                },
+                Instr::Atom { scope, .. } => match scope {
+                    crate::ir::Scope::Block => (cost.atom_block, 1),
+                    crate::ir::Scope::Device => (cost.atom_device, 2),
+                },
+                Instr::Membar { scope } => match scope {
+                    crate::ir::Scope::Block => (cost.membar_block, 0),
+                    crate::ir::Scope::Device => (cost.membar_device, 0),
+                },
+                Instr::BarSync => (cost.bar_sync, 0),
+                Instr::BarWarp => (cost.bar_warp, 0),
+                _ => (cost.alu, 0),
+            };
+            Decoded {
+                instr,
+                cost: c,
+                serial_cost: s,
+            }
+        })
+        .collect()
 }
 
 /// Chooses the lanes (indices within the warp) to execute next for warp
-/// `wi` of `block`, or `None` if no lane is runnable.
+/// `wi` of `block` into `out`; returns false if no lane is runnable. The
+/// caller-owned `pcs`/`out` scratch buffers make this allocation-free.
 fn pick_split(
     block: &Block,
     wi: usize,
     mode: ExecMode,
     split_prob: f64,
     rng: &mut SmallRng,
-) -> Option<Vec<usize>> {
+    pcs: &mut Vec<usize>,
+    out: &mut Vec<usize>,
+) -> bool {
     let warp_base = wi * WARP_SIZE;
     let end = (warp_base + WARP_SIZE).min(block.threads.len());
-    let runnable: Vec<usize> = (warp_base..end)
-        .filter(|&t| block.threads[t].status == Status::Ready)
-        .map(|t| t - warp_base)
-        .collect();
-    if runnable.is_empty() {
-        return None;
+    out.clear();
+    for t in warp_base..end {
+        if block.threads[t].status == Status::Ready {
+            out.push(t - warp_base);
+        }
+    }
+    if out.is_empty() {
+        return false;
     }
     let chosen_pc = match mode {
-        ExecMode::Lockstep => runnable
+        ExecMode::Lockstep => out
             .iter()
             .map(|&l| block.threads[warp_base + l].pc)
             .min()
             .unwrap(),
         ExecMode::Its => {
-            let mut pcs: Vec<usize> = runnable
-                .iter()
-                .map(|&l| block.threads[warp_base + l].pc)
-                .collect();
+            pcs.clear();
+            pcs.extend(out.iter().map(|&l| block.threads[warp_base + l].pc));
             pcs.sort_unstable();
             pcs.dedup();
             pcs[rng.random_range(0..pcs.len())]
         }
     };
-    let mut lanes: Vec<usize> = runnable
-        .into_iter()
-        .filter(|&l| block.threads[warp_base + l].pc == chosen_pc)
-        .collect();
+    out.retain(|&l| block.threads[warp_base + l].pc == chosen_pc);
     // Under ITS, converged threads may split apart at any time.
-    if mode == ExecMode::Its && lanes.len() > 1 && rng.random_bool(split_prob) {
-        let keep = rng.random_range(1..lanes.len());
-        let start = rng.random_range(0..=lanes.len() - keep);
-        lanes = lanes[start..start + keep].to_vec();
+    if mode == ExecMode::Its && out.len() > 1 && rng.random_bool(split_prob) {
+        let keep = rng.random_range(1..out.len());
+        let start = rng.random_range(0..=out.len() - keep);
+        out.drain(..start);
+        out.truncate(keep);
     }
-    Some(lanes)
+    true
 }
 
 /// Releases the block barrier if every live thread has arrived.
@@ -916,24 +1010,25 @@ fn release_warp_barrier(block: &mut Block, warp_base: usize, block_dim: usize) -
     true
 }
 
+/// Computes each participating lane's effective address into the reused
+/// `out` scratch buffer.
 fn gather_lanes(
     block: &Block,
     warp_base: usize,
     lanes: &[usize],
     addr: Reg,
     offset: i32,
-) -> Vec<LaneAccess> {
-    lanes
-        .iter()
-        .map(|&l| {
-            let t = &block.threads[warp_base + l];
-            LaneAccess {
-                lane: l as u32,
-                tid_in_block: (warp_base + l) as u32,
-                addr: effective_addr(t.get(addr), offset),
-            }
-        })
-        .collect()
+    out: &mut Vec<LaneAccess>,
+) {
+    out.clear();
+    out.extend(lanes.iter().map(|&l| {
+        let t = &block.threads[warp_base + l];
+        LaneAccess {
+            lane: l as u32,
+            tid_in_block: (warp_base + l) as u32,
+            addr: effective_addr(t.get(addr), offset),
+        }
+    }));
 }
 
 fn effective_addr(base: u32, offset: i32) -> u32 {

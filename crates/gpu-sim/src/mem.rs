@@ -26,8 +26,6 @@
 //! Addresses are byte addresses; all traffic is word (4-byte) sized and
 //! aligned, matching the 4-byte granularity of iGUARD's memory metadata.
 
-use std::collections::HashMap;
-
 use crate::error::SimError;
 use crate::ir::{AtomOp, Scope};
 
@@ -38,11 +36,105 @@ struct Line {
     dirty: bool,
 }
 
-/// The global-memory hierarchy: one L2 array plus one L1 map per SM.
+/// One SM's L1: a flat word-indexed array instead of a hash map, so the
+/// per-access hot path is two array reads (epoch check + value) with no
+/// hashing or allocation. Presence is an epoch match — a device fence
+/// "drops all lines" by bumping the epoch (O(1)) — and dirty lines are
+/// additionally tracked in a write-back list so a fence only visits words
+/// this SM actually wrote. The backing arrays are zero-filled and
+/// lazily paged by the OS, so untouched words cost no physical memory.
+#[derive(Debug)]
+struct SmL1 {
+    epoch: u32,
+    slot_epoch: Vec<u32>,
+    value: Vec<u32>,
+    dirty: Vec<bool>,
+    /// Words that transitioned to dirty since the last device fence (may
+    /// hold duplicates/stale entries; validity is re-checked at flush).
+    dirty_list: Vec<u32>,
+}
+
+impl SmL1 {
+    fn new() -> Self {
+        SmL1 {
+            epoch: 1,
+            slot_epoch: Vec::new(),
+            value: Vec::new(),
+            dirty: Vec::new(),
+            dirty_list: Vec::new(),
+        }
+    }
+
+    /// Grows the slot arrays to cover word `w`. Lazy growth keeps each
+    /// L1's footprint O(touched high-water address), not O(device
+    /// memory) — eagerly sizing 72 caches to `mem_words` costs hundreds
+    /// of megabytes of zeroing per `Gpu`. New slots get epoch 0, which
+    /// never equals the live epoch (it starts at 1 and wrap resets it
+    /// to 1), so they are born invalid.
+    #[inline]
+    fn ensure(&mut self, w: usize) {
+        if w >= self.slot_epoch.len() {
+            let n = (w + 1).next_power_of_two();
+            self.slot_epoch.resize(n, 0);
+            self.value.resize(n, 0);
+            self.dirty.resize(n, false);
+        }
+    }
+
+    #[inline]
+    fn get(&self, w: usize) -> Option<Line> {
+        if w < self.slot_epoch.len() && self.slot_epoch[w] == self.epoch {
+            Some(Line {
+                value: self.value[w],
+                dirty: self.dirty[w],
+            })
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, w: usize, line: Line) {
+        self.ensure(w);
+        if line.dirty && !(self.slot_epoch[w] == self.epoch && self.dirty[w]) {
+            self.dirty_list.push(w as u32);
+        }
+        self.slot_epoch[w] = self.epoch;
+        self.value[w] = line.value;
+        self.dirty[w] = line.dirty;
+    }
+
+    #[inline]
+    fn remove(&mut self, w: usize) {
+        if w < self.slot_epoch.len() {
+            self.slot_epoch[w] = self.epoch.wrapping_sub(1);
+        }
+    }
+
+    /// Writes back every dirty line and drops all lines.
+    fn flush(&mut self, l2: &mut [u32]) {
+        for i in 0..self.dirty_list.len() {
+            let w = self.dirty_list[i] as usize;
+            if self.slot_epoch[w] == self.epoch && self.dirty[w] {
+                l2[w] = self.value[w];
+            }
+        }
+        self.dirty_list.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped (needs 2^32 device fences): hard-reset so no
+            // stale slot can alias the restarted epoch counter.
+            self.slot_epoch.fill(0);
+            self.epoch = 1;
+        }
+    }
+}
+
+/// The global-memory hierarchy: one L2 array plus one L1 per SM.
 #[derive(Debug)]
 pub struct GlobalMem {
     l2: Vec<u32>,
-    l1: Vec<HashMap<usize, Line>>,
+    l1: Vec<SmL1>,
 }
 
 impl GlobalMem {
@@ -52,7 +144,7 @@ impl GlobalMem {
     pub fn new(words: usize, num_sms: usize) -> Self {
         GlobalMem {
             l2: vec![0; words],
-            l1: vec![HashMap::new(); num_sms],
+            l1: (0..num_sms).map(|_| SmL1::new()).collect(),
         }
     }
 
@@ -82,15 +174,15 @@ impl GlobalMem {
         if volatile {
             // Volatile reads observe L2, but a local *dirty* line is this
             // SM's own newer write and must win (program order).
-            if let Some(line) = self.l1[sm].get(&w) {
+            if let Some(line) = self.l1[sm].get(w) {
                 if line.dirty {
                     return Ok(line.value);
                 }
-                self.l1[sm].remove(&w);
+                self.l1[sm].remove(w);
             }
             return Ok(self.l2[w]);
         }
-        if let Some(line) = self.l1[sm].get(&w) {
+        if let Some(line) = self.l1[sm].get(w) {
             return Ok(line.value);
         }
         let v = self.l2[w];
@@ -114,7 +206,7 @@ impl GlobalMem {
     ) -> Result<(), SimError> {
         let w = self.word_index(addr)?;
         if volatile {
-            self.l1[sm].remove(&w);
+            self.l1[sm].remove(w);
             self.l2[w] = value;
         } else {
             self.l1[sm].insert(w, Line { value, dirty: true });
@@ -129,12 +221,7 @@ impl GlobalMem {
     /// immediate, so only ordering (tracked by the detector) is affected.
     pub fn fence(&mut self, sm: usize, scope: Scope) {
         if scope == Scope::Device {
-            let l1 = std::mem::take(&mut self.l1[sm]);
-            for (w, line) in l1 {
-                if line.dirty {
-                    self.l2[w] = line.value;
-                }
-            }
+            self.l1[sm].flush(&mut self.l2);
         }
     }
 
@@ -154,7 +241,7 @@ impl GlobalMem {
         match scope {
             Scope::Block => {
                 // RMW on the SM-local view: atomic w.r.t. this SM only.
-                let old = match self.l1[sm].get(&w) {
+                let old = match self.l1[sm].get(w) {
                     Some(line) => line.value,
                     None => self.l2[w],
                 };
@@ -171,10 +258,11 @@ impl GlobalMem {
             Scope::Device => {
                 // Publish any local version first, then RMW on L2; do not
                 // keep a local copy (atomics bypass L1 on real hardware).
-                if let Some(line) = self.l1[sm].remove(&w) {
+                if let Some(line) = self.l1[sm].get(w) {
                     if line.dirty {
                         self.l2[w] = line.value;
                     }
+                    self.l1[sm].remove(w);
                 }
                 let old = self.l2[w];
                 self.l2[w] = apply_atom(op, old, src, cmp);
@@ -195,7 +283,7 @@ impl GlobalMem {
         let w = (addr / 4) as usize;
         self.l2[w] = value;
         for l1 in &mut self.l1 {
-            l1.remove(&w);
+            l1.remove(w);
         }
     }
 

@@ -13,11 +13,11 @@
 //!    writes back the metadata (§6.2, §6.4);
 //! 6. reports races to the host buffer without stopping execution (§5).
 
-use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 use gpu_sim::hook::{AccessKind, LaneAccess, LaunchInfo, MemAccess, SyncEvent};
 use gpu_sim::ir::{AtomOp, Scope, Space};
-use gpu_sim::timing::{Clock, CostCategory};
+use gpu_sim::timing::{Clock, CostCategory, Phase};
 use nvbit_sim::Tool;
 
 use crate::bitfield::{AccessorInfo, MetadataEntry};
@@ -49,17 +49,206 @@ pub struct IguardStats {
     pub launches: u64,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Contention {
-    last_step: u64,
-    last_warp: u32,
-    streak: u32,
+/// Capacity of the inline history ring; the §6.7 ablation tops out at
+/// depth 8, and [`HistoryTable`] clamps deeper configurations to it.
+const HISTORY_RING: usize = 8;
+
+/// Flat, epoch-invalidated per-word contention state.
+///
+/// Indexed by metadata word exactly like `MetadataTable` (power-of-two
+/// capacity ≥ the backing words, so every in-bounds word index maps
+/// injectively to its own slot): a slot whose epoch is stale reads as the
+/// zeroed default the old `HashMap::entry(word).or_default()` produced,
+/// so the replacement is behaviour-identical while removing hashing and
+/// allocation from the per-access path. Backing vectors are zero-filled
+/// allocations, so untouched slots never cost physical pages.
+#[derive(Debug, Default)]
+struct ContentionTable {
+    mask: usize,
+    epoch: u32,
+    slot_epoch: Vec<u32>,
+    last_step: Vec<u64>,
+    last_warp: Vec<u32>,
+    streak: Vec<u32>,
 }
 
-#[derive(Debug, Clone)]
-struct HistRecord {
-    info: AccessorInfo,
-    locks: u16,
+impl ContentionTable {
+    /// Sets the slot mask for `words` and invalidates every slot (the old
+    /// per-launch `HashMap::clear`), without touching the backing pages.
+    /// Storage itself grows lazily (see [`ContentionTable::ensure`]).
+    fn begin_launch(&mut self, words: usize) {
+        let cap = words.next_power_of_two();
+        self.mask = cap - 1;
+        if self.epoch == 0 {
+            self.epoch = 1;
+            return;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // The 32-bit epoch wrapped: stale slots could masquerade as
+            // live, so pay one real clear every 2^32 launches.
+            self.slot_epoch.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Grows the slot arrays to cover `slot`. The mapping is identity
+    /// for in-range words, so growing to the touched high-water mark is
+    /// equivalent to full preallocation — without zeroing tens of
+    /// megabytes per detector for the device's whole address space.
+    /// Fresh slots get epoch 0, which never equals the live epoch.
+    #[inline]
+    fn ensure(&mut self, slot: usize) {
+        if slot >= self.slot_epoch.len() {
+            let n = (slot + 1).next_power_of_two();
+            self.slot_epoch.resize(n, 0);
+            self.last_step.resize(n, 0);
+            self.last_warp.resize(n, 0);
+            self.streak.resize(n, 0);
+        }
+    }
+
+    /// Applies the streak update for one access and returns the updated
+    /// streak (the state machine of `charge_contention`, unchanged).
+    fn update(&mut self, word: u32, warp: u32, step: u64, window: u64) -> u32 {
+        let slot = word as usize & self.mask;
+        self.ensure(slot);
+        let (last_step, last_warp, mut streak) = if self.slot_epoch[slot] == self.epoch {
+            (self.last_step[slot], self.last_warp[slot], self.streak[slot])
+        } else {
+            (0, 0, 0)
+        };
+        let close = step.saturating_sub(last_step) <= window;
+        if close && last_warp != warp {
+            streak = streak.saturating_add(1);
+        } else if !close {
+            streak = 1;
+        }
+        self.slot_epoch[slot] = self.epoch;
+        self.last_step[slot] = step;
+        self.last_warp[slot] = warp;
+        self.streak[slot] = streak;
+        streak
+    }
+}
+
+/// Flat fixed-capacity history rings (§6.7 ablation depths > 1), indexed
+/// like [`ContentionTable`] and invalidated the same way. Replaces the
+/// old `HashMap<u32, VecDeque<HistRecord>>`: per-word rings of at most
+/// [`HISTORY_RING`] records live inline in flat arrays, so pushing a
+/// record allocates nothing. Records store the accessor identity
+/// losslessly (unlike the packed 16-byte entry, whose fields truncate).
+#[derive(Debug, Default)]
+struct HistoryTable {
+    /// Records kept per word: `min(cfg.history_depth, HISTORY_RING)`.
+    /// `<= 1` disables the table (the entry itself is depth-1 history).
+    depth: usize,
+    mask: usize,
+    epoch: u32,
+    slot_epoch: Vec<u32>,
+    /// Per-slot ring control: `head << 4 | len` (both fit: depth ≤ 8).
+    ctl: Vec<u8>,
+    /// Per-record identity: `warp_id << 32 | lane`.
+    id: Vec<u64>,
+    /// Per-record sync counters, one byte each:
+    /// `dev_fence | blk_fence << 8 | blk_bar << 16 | warp_bar << 24`.
+    sync: Vec<u32>,
+    /// Per-record lock Bloom summary.
+    locks: Vec<u16>,
+}
+
+impl HistoryTable {
+    fn begin_launch(&mut self, words: usize, configured_depth: usize) {
+        self.depth = configured_depth.min(HISTORY_RING);
+        if self.depth <= 1 {
+            return;
+        }
+        let cap = words.next_power_of_two();
+        self.mask = cap - 1;
+        if self.epoch == 0 {
+            self.epoch = 1;
+            return;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.slot_epoch.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Grows the slot and record arrays to cover `slot` — same lazy
+    /// high-water scheme as [`ContentionTable::ensure`] (the record
+    /// arrays are `HISTORY_RING` entries per slot, so eager sizing
+    /// would be hundreds of megabytes at device scale).
+    #[inline]
+    fn ensure(&mut self, slot: usize) {
+        if slot >= self.slot_epoch.len() {
+            let n = (slot + 1).next_power_of_two();
+            self.slot_epoch.resize(n, 0);
+            self.ctl.resize(n, 0);
+            self.id.resize(n * HISTORY_RING, 0);
+            self.sync.resize(n * HISTORY_RING, 0);
+            self.locks.resize(n * HISTORY_RING, 0);
+        }
+    }
+
+    /// Appends a record, evicting the oldest once the ring is full (the
+    /// old `push_back` + trim-to-depth).
+    fn push(&mut self, word: u32, info: AccessorInfo, locks: u16) {
+        let slot = word as usize & self.mask;
+        self.ensure(slot);
+        let (mut head, mut len) = if self.slot_epoch[slot] == self.epoch {
+            let c = self.ctl[slot];
+            ((c >> 4) as usize, (c & 0xF) as usize)
+        } else {
+            (0, 0)
+        };
+        let pos = if len == self.depth {
+            let oldest = head;
+            head = (head + 1) % self.depth;
+            oldest
+        } else {
+            let p = (head + len) % self.depth;
+            len += 1;
+            p
+        };
+        let at = slot * HISTORY_RING + pos;
+        self.id[at] = (u64::from(info.warp_id) << 32) | u64::from(info.lane);
+        self.sync[at] = u32::from(info.dev_fence)
+            | (u32::from(info.blk_fence) << 8)
+            | (u32::from(info.blk_bar) << 16)
+            | (u32::from(info.warp_bar) << 24);
+        self.locks[at] = locks;
+        self.slot_epoch[slot] = self.epoch;
+        self.ctl[slot] = ((head as u8) << 4) | len as u8;
+    }
+
+    /// Yields `word`'s records newest-first, skipping the newest (which
+    /// duplicates the entry's own accessor) — the `iter().rev().skip(1)`
+    /// order of the old `VecDeque`.
+    fn rev_skip_newest(&self, word: u32) -> impl Iterator<Item = (AccessorInfo, u16)> + '_ {
+        let slot = word as usize & self.mask;
+        let (head, len) = if self.depth > 1 && self.slot_epoch.get(slot) == Some(&self.epoch) {
+            let c = self.ctl[slot];
+            ((c >> 4) as usize, (c & 0xF) as usize)
+        } else {
+            (0, 0)
+        };
+        (0..len.saturating_sub(1)).rev().map(move |i| {
+            let at = slot * HISTORY_RING + (head + i) % self.depth;
+            let id = self.id[at];
+            let sync = self.sync[at];
+            let info = AccessorInfo {
+                warp_id: (id >> 32) as u32,
+                lane: id as u32,
+                dev_fence: sync as u8,
+                blk_fence: (sync >> 8) as u8,
+                blk_bar: (sync >> 16) as u8,
+                warp_bar: (sync >> 24) as u8,
+            };
+            (info, self.locks[at])
+        })
+    }
 }
 
 /// The iGUARD race detector.
@@ -70,8 +259,8 @@ pub struct Iguard {
     locks: Vec<WarpLockState>,
     table: Option<MetadataTable>,
     reporter: RaceReporter,
-    contention: HashMap<u32, Contention>,
-    history: HashMap<u32, VecDeque<HistRecord>>,
+    contention: ContentionTable,
+    history: HistoryTable,
     stats: IguardStats,
     total_warps: u32,
     window: u64,
@@ -99,8 +288,8 @@ impl Iguard {
             locks: Vec::new(),
             table: None,
             reporter,
-            contention: HashMap::new(),
-            history: HashMap::new(),
+            contention: ContentionTable::default(),
+            history: HistoryTable::default(),
             stats: IguardStats::default(),
             total_warps: 0,
             window: 64,
@@ -158,16 +347,8 @@ impl Iguard {
     /// temporally-close accesses to the same entry by different warps
     /// approximates the number of contenders for the entry's lock.
     fn charge_contention(&mut self, word: u32, warp: u32, step: u64, clock: &mut Clock) {
-        let c = self.contention.entry(word).or_default();
-        let close = step.saturating_sub(c.last_step) <= self.window;
-        if close && c.last_warp != warp {
-            c.streak = c.streak.saturating_add(1);
-        } else if !close {
-            c.streak = 1;
-        }
-        c.last_step = step;
-        c.last_warp = warp;
-        if c.streak > 1 {
+        let streak = self.contention.update(word, warp, step, self.window);
+        if streak > 1 {
             self.stats.contended_accesses += 1;
             let cycles = if self.cfg.backoff {
                 // Dynamically-adjusted exponential backoff: contenders
@@ -178,7 +359,7 @@ impl Iguard {
                 // Unmitigated CAS hammering: every retry burns memory
                 // bandwidth and delays the holder, so the per-access waste
                 // grows with the number of concurrent contenders.
-                2 * u64::from(c.streak.min(96))
+                2 * u64::from(streak.min(96))
             };
             self.stats.contention_cycles += cycles;
             clock.charge_serial(CostCategory::Detection, cycles);
@@ -209,7 +390,11 @@ impl Iguard {
         let wpb = access.warps_per_block;
 
         // Metadata lookup: UVM touch + contention serialization.
+        let t0 = clock.profiling().then(Instant::now);
         let loaded = self.table.as_mut().expect("launched").load(word);
+        if let Some(t) = t0 {
+            clock.add_phase_ns(Phase::Uvm, t.elapsed().as_nanos() as u64);
+        }
         if loaded.uvm_cycles > 0 {
             self.stats.uvm_cycles += loaded.uvm_cycles;
             clock.charge_serial(CostCategory::Detection, loaded.uvm_cycles);
@@ -336,14 +521,10 @@ impl Iguard {
     }
 
     fn push_history(&mut self, word: u32, info: AccessorInfo, locks: u16) {
-        if self.cfg.history_depth <= 1 {
+        if self.history.depth <= 1 {
             return;
         }
-        let q = self.history.entry(word).or_default();
-        q.push_back(HistRecord { info, locks });
-        while q.len() > self.cfg.history_depth {
-            q.pop_front();
-        }
+        self.history.push(word, info, locks);
     }
 
     fn check_history(
@@ -353,11 +534,10 @@ impl Iguard {
         curr: &CurrAccess,
         wpb: u32,
     ) -> Option<RaceKind> {
-        let q = self.history.get(&word)?;
-        for rec in q.iter().rev().skip(1) {
-            let md = self.md_view(rec.info);
+        for (info, locks) in self.history.rev_skip_newest(word) {
+            let md = self.md_view(info);
             let mut shadow = *entry;
-            shadow.locks = rec.locks;
+            shadow.locks = locks;
             if preliminary(&shadow, &md, curr, wpb).is_none() {
                 if let Some(kind) = detailed(&shadow, &md, curr, wpb) {
                     return Some(kind);
@@ -412,8 +592,9 @@ impl Tool for Iguard {
         };
         self.sync = Some(SyncMetadata::new(info.grid_dim, info.warps_per_block));
         self.locks = vec![WarpLockState::default(); info.total_warps as usize];
-        self.contention.clear();
-        self.history.clear();
+        self.contention.begin_launch(info.backing_words);
+        self.history
+            .begin_launch(info.backing_words, self.cfg.history_depth);
 
         match &mut self.table {
             Some(table) => table.begin_epoch(),
@@ -449,6 +630,47 @@ impl Tool for Iguard {
         if access.space != Space::Global {
             return;
         }
+        let t0 = clock.profiling().then(Instant::now);
+        self.on_global_mem(access, clock);
+        if let Some(t) = t0 {
+            clock.add_phase_ns(Phase::Detect, t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn on_sync(&mut self, event: &SyncEvent<'_>, clock: &mut Clock) {
+        clock.charge(CostCategory::Detection, 4);
+        match event {
+            SyncEvent::BlockBarrier { block_id } => {
+                if let Some(s) = self.sync.as_mut() {
+                    s.block_barrier(*block_id);
+                }
+            }
+            SyncEvent::WarpBarrier { global_warp, .. } => {
+                if let Some(s) = self.sync.as_mut() {
+                    s.warp_barrier(*global_warp);
+                }
+            }
+            SyncEvent::Fence {
+                scope,
+                global_warp,
+                tids,
+                ..
+            } => {
+                let sync = self.sync.as_mut().expect("launched");
+                for &(lane, _tid) in tids.iter() {
+                    sync.fence(*scope, *global_warp, lane);
+                }
+                let lanes: Vec<u32> = tids.iter().map(|&(lane, _)| lane).collect();
+                self.locks[*global_warp as usize].on_fence(lanes, *scope);
+            }
+        }
+    }
+}
+
+impl Iguard {
+    /// The global-memory half of [`Tool::on_mem`], separated so the wrapper
+    /// can attribute its wall time to [`Phase::Detect`].
+    fn on_global_mem(&mut self, access: &MemAccess<'_>, clock: &mut Clock) {
         let kind = match access.kind {
             AccessKind::Load => AccessType::Load,
             // A volatile word store is hardware-atomic and L1-bypassing —
@@ -460,14 +682,28 @@ impl Tool for Iguard {
             AccessKind::Atomic { op, scope } => {
                 // Lock inference (§6.3) happens before race checking.
                 if matches!(op, AtomOp::Cas | AtomOp::Exch) {
-                    self.scratch_pairs.clear();
-                    self.scratch_pairs
-                        .extend(access.lanes.iter().map(|l| (l.lane, l.addr)));
                     let wl = &mut self.locks[access.global_warp as usize];
-                    match op {
-                        AtomOp::Cas => wl.on_cas(&self.scratch_pairs, scope),
-                        AtomOp::Exch => wl.on_exch(&self.scratch_pairs, scope),
-                        _ => unreachable!("matched above"),
+                    if let [l] = access.lanes {
+                        // 1-lane split (the common case for lock CASes
+                        // under ITS): skip the scratch fill entirely.
+                        let pair = [(l.lane, l.addr)];
+                        match op {
+                            AtomOp::Cas => wl.on_cas(&pair, scope),
+                            AtomOp::Exch => wl.on_exch(&pair, scope),
+                            _ => unreachable!("matched above"),
+                        }
+                    } else {
+                        // `scratch_pairs` keeps its capacity across splits
+                        // and launches; 32 lanes always fit, so this never
+                        // reallocates.
+                        self.scratch_pairs.clear();
+                        self.scratch_pairs
+                            .extend(access.lanes.iter().map(|l| (l.lane, l.addr)));
+                        match op {
+                            AtomOp::Cas => wl.on_cas(&self.scratch_pairs, scope),
+                            AtomOp::Exch => wl.on_exch(&self.scratch_pairs, scope),
+                            _ => unreachable!("matched above"),
+                        }
                     }
                 }
                 AccessType::Atomic {
@@ -515,35 +751,6 @@ impl Tool for Iguard {
             for i in 0..access.lanes.len() {
                 let la = access.lanes[i];
                 self.process_access(&la, kind, access, clock);
-            }
-        }
-    }
-
-    fn on_sync(&mut self, event: &SyncEvent<'_>, clock: &mut Clock) {
-        clock.charge(CostCategory::Detection, 4);
-        match event {
-            SyncEvent::BlockBarrier { block_id } => {
-                if let Some(s) = self.sync.as_mut() {
-                    s.block_barrier(*block_id);
-                }
-            }
-            SyncEvent::WarpBarrier { global_warp, .. } => {
-                if let Some(s) = self.sync.as_mut() {
-                    s.warp_barrier(*global_warp);
-                }
-            }
-            SyncEvent::Fence {
-                scope,
-                global_warp,
-                tids,
-                ..
-            } => {
-                let sync = self.sync.as_mut().expect("launched");
-                for &(lane, _tid) in tids.iter() {
-                    sync.fence(*scope, *global_warp, lane);
-                }
-                let lanes: Vec<u32> = tids.iter().map(|&(lane, _)| lane).collect();
-                self.locks[*global_warp as usize].on_fence(lanes, *scope);
             }
         }
     }

@@ -24,6 +24,11 @@ pub struct MetadataTable {
     wr: Vec<u64>,
     epoch: Vec<u32>,
     cur_epoch: u32,
+    /// `capacity - 1`; capacity is rounded up to a power of two so the
+    /// per-access direct mapping is a mask, not a division.
+    slot_mask: usize,
+    /// `log2(capacity)`; the tag is a shift, not a division.
+    tag_shift: u32,
     uvm: ManagedRegion,
     /// Multiplier mapping backing word indices to *logical* metadata
     /// offsets, so footprint-scaling experiments (Figure 14) exercise the
@@ -55,26 +60,48 @@ impl MetadataTable {
         addr_scale: u64,
     ) -> Self {
         assert!(words > 0, "metadata table cannot be empty");
+        // Power-of-two capacity: slot/tag become mask/shift. For every
+        // in-bounds word index (< `words`) the mapping is identical to the
+        // modulo/divide scheme, so behaviour is unchanged in practice.
+        let capacity = words.next_power_of_two();
+        // Slot storage grows lazily to the touched high-water mark (the
+        // mapping is identity for in-bounds words, so this is equivalent
+        // to full preallocation); only the mask/shift use `capacity`.
         MetadataTable {
-            acc: vec![0; words],
-            wr: vec![0; words],
-            epoch: vec![0; words],
+            acc: Vec::new(),
+            wr: Vec::new(),
+            epoch: Vec::new(),
             cur_epoch: 0,
+            slot_mask: capacity - 1,
+            tag_shift: capacity.trailing_zeros(),
             uvm: ManagedRegion::new(uvm_cfg, virtual_bytes.max(ENTRY_BYTES), device_budget_bytes),
             addr_scale: addr_scale.max(1),
         }
     }
 
-    /// Number of entries.
+    /// Number of entries (the power-of-two capacity).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.acc.len()
+        self.slot_mask + 1
     }
 
     /// Whether the table is empty (never true; see `new`).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.acc.is_empty()
+        false
+    }
+
+    /// Grows the slot arrays to cover `slot`. Fresh slots read as
+    /// epoch-stale (see `load`), exactly what a zeroed preallocation
+    /// yields for a never-written entry.
+    #[inline]
+    fn ensure(&mut self, slot: usize) {
+        if slot >= self.acc.len() {
+            let n = (slot + 1).next_power_of_two().min(self.slot_mask + 1);
+            self.acc.resize(n, 0);
+            self.wr.resize(n, 0);
+            self.epoch.resize(n, 0);
+        }
     }
 
     /// Invalidates every entry (new kernel launch).
@@ -95,11 +122,11 @@ impl MetadataTable {
     }
 
     fn slot(&self, word_idx: u32) -> usize {
-        word_idx as usize % self.acc.len()
+        word_idx as usize & self.slot_mask
     }
 
     fn tag(&self, word_idx: u32) -> u16 {
-        ((word_idx as usize / self.acc.len()) & 0x3FF) as u16
+        ((word_idx as usize >> self.tag_shift) & 0x3FF) as u16
     }
 
     /// Loads the entry for `word_idx`, touching its UVM page.
@@ -112,8 +139,15 @@ impl MetadataTable {
         };
         let slot = self.slot(word_idx);
         let tag = self.tag(word_idx);
-        let mut entry = MetadataEntry::unpack(self.acc[slot], self.wr[slot]);
-        if self.epoch[slot] != self.cur_epoch || entry.tag != tag {
+        // An unmaterialized slot reads as (0, 0) at a stale epoch — the
+        // same first-access result a zeroed preallocated slot produces.
+        let (a, w, ep) = if slot < self.acc.len() {
+            (self.acc[slot], self.wr[slot], self.epoch[slot])
+        } else {
+            (0, 0, self.cur_epoch.wrapping_add(1))
+        };
+        let mut entry = MetadataEntry::unpack(a, w);
+        if ep != self.cur_epoch || entry.tag != tag {
             entry = MetadataEntry {
                 tag,
                 ..MetadataEntry::default()
@@ -125,6 +159,7 @@ impl MetadataTable {
     /// Stores the entry for `word_idx` (stamps tag and epoch).
     pub fn store(&mut self, word_idx: u32, mut entry: MetadataEntry) {
         let slot = self.slot(word_idx);
+        self.ensure(slot);
         entry.tag = self.tag(word_idx);
         let (a, w) = entry.pack();
         self.acc[slot] = a;

@@ -7,6 +7,7 @@
 //! the channel; every dynamic occurrence is still counted.
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 use gpu_sim::timing::{Clock, CostCategory};
 use nvbit_sim::channel::HostChannel;
@@ -16,8 +17,8 @@ use crate::checks::{AccessType, RaceKind};
 /// One reported race.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RaceRecord {
-    /// Kernel in which the racing access executed.
-    pub kernel: String,
+    /// Kernel in which the racing access executed (interned name).
+    pub kernel: Arc<str>,
     /// Program counter of the racing access.
     pub pc: usize,
     /// Source annotation, when the binary carries debug info.
@@ -65,8 +66,8 @@ impl std::fmt::Display for RaceRecord {
 /// A distinct racing program location, the unit Table 4 counts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RaceSite {
-    /// Kernel name.
-    pub kernel: String,
+    /// Kernel name (interned).
+    pub kernel: Arc<str>,
     /// Racing pc.
     pub pc: usize,
     /// All race kinds observed at this site.
@@ -79,7 +80,7 @@ pub struct RaceSite {
 #[derive(Debug)]
 pub struct RaceReporter {
     channel: HostChannel<RaceRecord>,
-    shipped_keys: HashSet<(String, usize, RaceKind)>,
+    shipped_keys: HashSet<(Arc<str>, usize, RaceKind)>,
     /// Total dynamic race occurrences (including deduplicated ones).
     pub dynamic_races: u64,
 }
@@ -123,7 +124,7 @@ impl RaceReporter {
 /// paper's Table 4 counts races in.
 #[must_use]
 pub fn group_sites(records: &[RaceRecord]) -> Vec<RaceSite> {
-    let mut sites: BTreeMap<(String, usize), RaceSite> = BTreeMap::new();
+    let mut sites: BTreeMap<(Arc<str>, usize), RaceSite> = BTreeMap::new();
     for r in records {
         let site = sites
             .entry((r.kernel.clone(), r.pc))

@@ -25,8 +25,8 @@ use crate::checks::RaceKind;
 /// One reported scratchpad race.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SharedRace {
-    /// Kernel name.
-    pub kernel: String,
+    /// Kernel name (interned).
+    pub kernel: std::sync::Arc<str>,
     /// pc of the second access.
     pub pc: usize,
     /// Byte offset within the block's scratchpad.

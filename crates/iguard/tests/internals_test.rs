@@ -285,5 +285,5 @@ fn racy_then_clean_launches_do_not_leak_reports() {
         "clean launch adds nothing"
     );
     let races = tool.tool_mut().races();
-    assert!(races.iter().all(|r| r.kernel == "racy_k"));
+    assert!(races.iter().all(|r| &*r.kernel == "racy_k"));
 }

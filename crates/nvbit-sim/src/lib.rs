@@ -25,7 +25,7 @@ pub mod inspect;
 use gpu_sim::hook::{Hook, LaunchInfo, MemAccess, SyncEvent};
 use gpu_sim::timing::{Clock, CostCategory};
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Framework cost parameters (cycles).
 #[derive(Debug, Clone)]
@@ -87,8 +87,15 @@ pub trait Tool {
 pub struct Instrumented<T: Tool> {
     tool: T,
     cfg: NvbitConfig,
-    /// kernel name → per-pc "has callback" bitmap.
-    maps: HashMap<String, Vec<bool>>,
+    /// kernel name → per-pc "has callback" bitmap. Kernel names are
+    /// interned (`Arc<str>`), so the common case — consecutive accesses
+    /// from the same kernel object — resolves with one pointer compare
+    /// against `cursor` instead of hashing the name per access. Analysis
+    /// still caches by *name* (NVBit caches instrumented functions), so a
+    /// same-named kernel loaded twice reuses the first bitmap.
+    maps: Vec<(Arc<str>, Vec<bool>)>,
+    /// Index into `maps` of the most recently resolved kernel.
+    cursor: usize,
 }
 
 impl<T: Tool> Instrumented<T> {
@@ -102,7 +109,8 @@ impl<T: Tool> Instrumented<T> {
         Instrumented {
             tool,
             cfg,
-            maps: HashMap::new(),
+            maps: Vec::new(),
+            cursor: 0,
         }
     }
 
@@ -121,22 +129,29 @@ impl<T: Tool> Instrumented<T> {
         self.tool
     }
 
-    fn ensure_analyzed(&mut self, kernel: &gpu_sim::kernel::Kernel, clock: &mut Clock) {
-        if self.maps.contains_key(&kernel.name) {
-            return;
+    /// Resolves (analyzing on first sight) the bitmap index for `kernel`.
+    fn map_index(&mut self, kernel: &gpu_sim::kernel::Kernel, clock: &mut Clock) -> usize {
+        if let Some((name, _)) = self.maps.get(self.cursor) {
+            if Arc::ptr_eq(name, &kernel.name) {
+                return self.cursor;
+            }
+        }
+        if let Some(i) = self
+            .maps
+            .iter()
+            .position(|(name, _)| Arc::ptr_eq(name, &kernel.name) || **name == *kernel.name)
+        {
+            self.cursor = i;
+            return i;
         }
         // One-time, host-side (serial) binary analysis.
         let cost = self.cfg.analysis_cost_fixed
             + self.cfg.analysis_cost_per_instr * kernel.code.len() as u64;
         clock.charge_serial(CostCategory::Nvbit, cost);
         let map = kernel.code.iter().map(|i| self.tool.wants(i)).collect();
-        self.maps.insert(kernel.name.clone(), map);
-    }
-
-    fn is_instrumented(&self, kernel_name: &str, pc: usize) -> bool {
-        self.maps
-            .get(kernel_name)
-            .is_some_and(|m| m.get(pc).copied().unwrap_or(false))
+        self.maps.push((kernel.name.clone(), map));
+        self.cursor = self.maps.len() - 1;
+        self.cursor
     }
 }
 
@@ -150,8 +165,13 @@ impl<T: Tool> Hook for Instrumented<T> {
     }
 
     fn on_mem_access(&mut self, access: &MemAccess<'_>, clock: &mut Clock) {
-        self.ensure_analyzed(access.kernel, clock);
-        if !self.is_instrumented(&access.kernel.name, access.pc) {
+        let idx = self.map_index(access.kernel, clock);
+        if !self.maps[idx]
+            .1
+            .get(access.pc)
+            .copied()
+            .unwrap_or(false)
+        {
             return;
         }
         clock.charge(CostCategory::Instrumentation, self.cfg.callback_cost_mem);

@@ -17,7 +17,7 @@
 
 #![forbid(unsafe_code)]
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Cost parameters of the simulated UVM driver (cycles).
 #[derive(Debug, Clone)]
@@ -91,7 +91,12 @@ pub struct ManagedRegion {
     cfg: UvmConfig,
     len_bytes: u64,
     device_budget_pages: u64,
-    resident: HashSet<u64>,
+    /// Residency bitmap indexed by page, grown lazily to the touched
+    /// high-water page. A flat flag per page replaces the old
+    /// `HashSet<u64>` — the residency check runs on every metadata
+    /// access, and page indices are small (region bytes / 2 MiB).
+    resident: Vec<bool>,
+    resident_count: u64,
     fifo: VecDeque<u64>,
     stats: UvmStats,
 }
@@ -107,10 +112,26 @@ impl ManagedRegion {
             cfg,
             len_bytes,
             device_budget_pages,
-            resident: HashSet::new(),
+            resident: Vec::new(),
+            resident_count: 0,
             fifo: VecDeque::new(),
             stats: UvmStats::default(),
         }
+    }
+
+    #[inline]
+    fn is_resident(&self, page: u64) -> bool {
+        self.resident.get(page as usize).copied().unwrap_or(false)
+    }
+
+    #[inline]
+    fn set_resident(&mut self, page: u64) {
+        let p = page as usize;
+        if p >= self.resident.len() {
+            self.resident.resize(p + 1, false);
+        }
+        self.resident[p] = true;
+        self.resident_count += 1;
     }
 
     /// Virtual length of the region.
@@ -128,7 +149,7 @@ impl ManagedRegion {
     /// Pages currently resident on the device.
     #[must_use]
     pub fn resident_pages(&self) -> u64 {
-        self.resident.len() as u64
+        self.resident_count
     }
 
     /// Counters so far.
@@ -144,10 +165,11 @@ impl ManagedRegion {
         let want = max_bytes.min(self.len_bytes).div_ceil(self.cfg.page_bytes);
         let mut cycles = 0;
         for page in 0..want {
-            if self.resident.len() as u64 >= self.device_budget_pages {
+            if self.resident_count >= self.device_budget_pages {
                 break;
             }
-            if self.resident.insert(page) {
+            if !self.is_resident(page) {
+                self.set_resident(page);
                 self.fifo.push_back(page);
                 self.stats.prefaulted_pages += 1;
                 cycles += self.cfg.prefault_cost;
@@ -170,7 +192,7 @@ impl ManagedRegion {
             self.len_bytes
         );
         let page = offset / self.cfg.page_bytes;
-        if self.resident.contains(&page) {
+        if self.is_resident(page) {
             return Touch::Hit;
         }
         let mut cycles = self.cfg.fault_cost;
@@ -183,13 +205,14 @@ impl ManagedRegion {
             self.stats.fault_cycles += cycles;
             return Touch::Fault { cycles };
         }
-        if self.resident.len() as u64 >= self.device_budget_pages {
+        if self.resident_count >= self.device_budget_pages {
             let victim = self.fifo.pop_front().expect("resident set non-empty");
-            self.resident.remove(&victim);
+            self.resident[victim as usize] = false;
+            self.resident_count -= 1;
             self.stats.evictions += 1;
             cycles += self.cfg.evict_cost;
         }
-        self.resident.insert(page);
+        self.set_resident(page);
         self.fifo.push_back(page);
         self.stats.fault_cycles += cycles;
         Touch::Fault { cycles }
