@@ -3,13 +3,18 @@
 # With --quick, additionally runs the perf-harness smoke: a 5-workload
 # `perf --quick` sweep whose JSON is validated by re-parsing (the binary
 # exits non-zero on malformed output).
+# With --fuzz, additionally runs a time-boxed differential fuzz campaign
+# (generated kernels vs the schedule-space oracle vs both detectors); any
+# unexplained divergence fails the gate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 QUICK=0
+FUZZ=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
+    --fuzz) FUZZ=1 ;;
     *) echo "ci.sh: unknown flag $arg" >&2; exit 2 ;;
   esac
 done
@@ -27,6 +32,13 @@ if [[ "$QUICK" -eq 1 ]]; then
   echo "== perf smoke (--quick) =="
   cargo run --release -p bench --bin perf -- --quick --no-progress
   test -s target/BENCH_PR2.quick.json || { echo "perf smoke: missing/empty JSON" >&2; exit 1; }
+fi
+
+if [[ "$FUZZ" -eq 1 ]]; then
+  echo "== differential fuzz smoke (--fuzz) =="
+  # Unlimited kernel stream, hard 45 s budget: stays under a minute while
+  # covering as many kernels as the machine manages.
+  cargo run --release -p bench --bin fuzz -- --kernels 0 --budget 45 --seed 42 --no-progress
 fi
 
 echo "CI OK"

@@ -1,0 +1,204 @@
+//! Differential fuzz campaign: generated kernels vs the schedule-space
+//! oracle vs both detectors, fanned out over the work-stealing driver.
+//!
+//! ```text
+//! fuzz [--kernels N] [--budget SECS] [--seed S] [--corpus PATH] [--spec STR]
+//!      [--jobs N] [--serial] [--timeout-secs N] [--no-progress]
+//! ```
+//!
+//! - `--kernels N`  kernels to generate (default 200; 0 = unlimited,
+//!   requires `--budget`).
+//! - `--budget S`   stop starting new batches after S seconds.
+//! - `--seed S`     campaign seed for the kernel generator (default 42).
+//! - `--corpus P`   append shrunk unexplained divergences to corpus file P.
+//! - `--spec STR`   run a single compact spec instead of a campaign.
+//!
+//! Exit code 1 on any unexplained oracle/detector divergence (after
+//! shrinking it to a minimal repro), 0 otherwise.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use bench::{run_jobs, DriverConfig, Job, Outcome};
+use oracle::corpus;
+use oracle::diff::{diff_spec, generate_specs, DiffConfig, DiffReport};
+use oracle::shrink::shrink_spec;
+use oracle::spec::KernelSpec;
+
+const BATCH: usize = 32;
+
+struct Args {
+    kernels: usize,
+    budget: Option<Duration>,
+    seed: u64,
+    corpus_path: Option<String>,
+    spec: Option<String>,
+}
+
+fn parse_args(rest: Vec<String>) -> Args {
+    let mut args = Args {
+        kernels: 200,
+        budget: None,
+        seed: 42,
+        corpus_path: None,
+        spec: None,
+    };
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--kernels" => {
+                args.kernels = value("--kernels").parse().unwrap_or_else(|_| {
+                    eprintln!("--kernels expects a number");
+                    std::process::exit(2);
+                });
+            }
+            "--budget" => {
+                let secs: u64 = value("--budget").parse().unwrap_or_else(|_| {
+                    eprintln!("--budget expects seconds");
+                    std::process::exit(2);
+                });
+                args.budget = Some(Duration::from_secs(secs));
+            }
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed expects a number");
+                    std::process::exit(2);
+                });
+            }
+            "--corpus" => args.corpus_path = Some(value("--corpus")),
+            "--spec" => args.spec = Some(value("--spec")),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.kernels == 0 && args.budget.is_none() {
+        eprintln!("--kernels 0 (unlimited) requires --budget");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let (driver, rest) = DriverConfig::from_env();
+    let args = parse_args(rest);
+    let cfg = DiffConfig::default();
+
+    // Single-spec repro mode.
+    if let Some(s) = &args.spec {
+        let spec = KernelSpec::parse(s).unwrap_or_else(|e| {
+            eprintln!("bad --spec: {e}");
+            std::process::exit(2);
+        });
+        let r = diff_spec(&spec, &cfg);
+        println!("{}", r.describe());
+        std::process::exit(i32::from(!r.unexplained().is_empty()));
+    }
+
+    let started = Instant::now();
+    let mut stream_seed = args.seed;
+    let mut done = 0usize;
+    let mut racy = 0usize;
+    let mut explained: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut unexplained: Vec<DiffReport> = Vec::new();
+    let mut dnf = 0usize;
+
+    while args.kernels == 0 || done < args.kernels {
+        if let Some(b) = args.budget {
+            if started.elapsed() >= b {
+                break;
+            }
+        }
+        let batch = if args.kernels == 0 {
+            BATCH
+        } else {
+            BATCH.min(args.kernels - done)
+        };
+        // A fresh generator seed per batch keeps the stream deterministic
+        // for a given campaign seed regardless of batch boundaries.
+        let specs = generate_specs(batch, stream_seed);
+        stream_seed = stream_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+
+        let jobs: Vec<Job<DiffReport>> = specs
+            .into_iter()
+            .map(|spec| {
+                let cfg = cfg.clone();
+                Job::custom(spec.to_compact_string(), move || diff_spec(&spec, &cfg))
+            })
+            .collect();
+        for outcome in run_jobs(jobs, &driver) {
+            match outcome {
+                Outcome::Done { value, .. } => {
+                    racy += usize::from(value.oracle.racy);
+                    for d in &value.divergences {
+                        if let Some(reason) = d.explanation {
+                            *explained.entry(reason).or_insert(0) += 1;
+                        }
+                    }
+                    if !value.unexplained().is_empty() {
+                        unexplained.push(value);
+                    }
+                }
+                Outcome::Panicked { message, .. } => {
+                    eprintln!("fuzz job panicked: {message}");
+                    dnf += 1;
+                }
+                Outcome::TimedOut { .. } => dnf += 1,
+            }
+            done += 1;
+        }
+    }
+
+    println!(
+        "fuzz: {done} kernels in {:.1}s ({racy} racy, {} clean, {dnf} DNF)",
+        started.elapsed().as_secs_f64(),
+        done - racy - dnf,
+    );
+    for (reason, n) in &explained {
+        println!("  explained divergence: {reason} x{n}");
+    }
+
+    if unexplained.is_empty() && dnf == 0 {
+        println!("no unexplained divergences");
+        return;
+    }
+
+    let mut entries = Vec::new();
+    for r in &unexplained {
+        let small = shrink_spec(&r.spec, |s| !diff_spec(s, &cfg).unexplained().is_empty());
+        let shrunk = diff_spec(&small, &cfg);
+        eprintln!("UNEXPLAINED: {}", r.describe());
+        eprintln!("  shrunk repro: {}", shrunk.describe());
+        eprintln!(
+            "  rerun: fuzz --spec '{}'",
+            small.to_compact_string()
+        );
+        entries.push(corpus::entry_for(&small, &cfg));
+    }
+    if let Some(path) = &args.corpus_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(existing) => {
+                let mut all = corpus::parse(&existing).unwrap_or_else(|e| {
+                    eprintln!("existing corpus {path} unreadable: {e}");
+                    std::process::exit(2);
+                });
+                all.extend(entries);
+                corpus::format(&all)
+            }
+            Err(_) => corpus::format(&entries),
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write corpus {path}: {e}");
+        } else {
+            eprintln!("shrunk repros appended to {path}");
+        }
+    }
+    std::process::exit(1);
+}

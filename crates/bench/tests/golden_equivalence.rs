@@ -23,6 +23,7 @@ use std::fmt::Write as _;
 
 use gpu_sim::hook::ExecMode;
 use gpu_sim::machine::{Gpu, GpuConfig, LaunchStats};
+use gpu_sim::sched::{RandomScheduler, RecordingScheduler, ReplayScheduler, ScheduleTrace, Scheduler};
 use iguard::{Iguard, IguardConfig};
 use nvbit_sim::Instrumented;
 use workloads::{Size, Workload};
@@ -48,13 +49,28 @@ fn golden_gpu(seed: u64, mode: ExecMode) -> GpuConfig {
 /// visibility, detection, cycle accounting, or reporting — changes the
 /// line.
 fn run_line(w: &Workload, seed: u64, mode: ExecMode) -> String {
+    run_line_sched(w, seed, mode, None)
+}
+
+/// Like [`run_line`], but with an explicit scheduler driving every launch
+/// (`None` = the built-in `gpu.launch` path).
+fn run_line_sched(
+    w: &Workload,
+    seed: u64,
+    mode: ExecMode,
+    mut sched: Option<&mut dyn Scheduler>,
+) -> String {
     let mut gpu = Gpu::new(golden_gpu(seed, mode));
     let launches = w.build(&mut gpu, Size::Test);
     let mut tool = Instrumented::new(Iguard::new(IguardConfig::default()));
     let mut stats = LaunchStats::default();
     let mut timed_out = false;
     for l in &launches {
-        match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool) {
+        let result = match &mut sched {
+            Some(s) => gpu.launch_with(&l.kernel, l.grid, l.block, &l.params, &mut tool, &mut **s),
+            None => gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool),
+        };
+        match result {
             Ok(s) => {
                 stats.steps += s.steps;
                 stats.dyn_instrs += s.dyn_instrs;
@@ -165,3 +181,71 @@ fn pipeline_is_deterministic_across_repeats() {
     let b = run_line(&w, bench::DEFAULT_SEED, ExecMode::Its);
     assert_eq!(a, b);
 }
+
+/// The scheduler extraction must be invisible: driving a launch through an
+/// explicit `RandomScheduler` (the `launch_with` path) produces the same
+/// RNG decision sequence — and therefore byte-identical stats, reports,
+/// and clock — as the built-in `gpu.launch` path, across seeds and modes.
+#[test]
+fn explicit_random_scheduler_is_byte_identical_to_launch() {
+    let w = workloads::by_name("uts").expect("uts exists");
+    for seed in SEEDS {
+        for mode in [ExecMode::Its, ExecMode::Lockstep] {
+            let implicit = run_line(&w, seed, mode);
+            let prob = golden_gpu(seed, mode).its_split_prob;
+            let mut sched = RandomScheduler::new(seed, prob);
+            let explicit = run_line_sched(&w, seed, mode, Some(&mut sched));
+            assert_eq!(implicit, explicit, "seed={seed} mode={mode:?}");
+        }
+    }
+}
+
+/// Recording the random schedule and replaying the trace reproduces the
+/// run byte-for-byte, and the trace survives a text round-trip.
+#[test]
+fn recorded_schedule_replays_byte_identically() {
+    let w = workloads::by_name("uts").expect("uts exists");
+    let seed = bench::DEFAULT_SEED;
+    let prob = golden_gpu(seed, ExecMode::Its).its_split_prob;
+
+    let mut rec = RecordingScheduler::new(RandomScheduler::new(seed, prob));
+    let recorded = run_line_sched(&w, seed, ExecMode::Its, Some(&mut rec));
+    let trace = rec.into_trace();
+    assert_eq!(recorded, run_line(&w, seed, ExecMode::Its));
+
+    let round_tripped = ScheduleTrace::parse(&trace.to_compact_string()).expect("trace parses");
+    assert_eq!(round_tripped.digest(), trace.digest());
+
+    let mut replay = ReplayScheduler::new(round_tripped);
+    let replayed = run_line_sched(&w, seed, ExecMode::Its, Some(&mut replay));
+    assert!(replay.finished(), "replay left unconsumed decisions");
+    assert_eq!(recorded, replayed);
+}
+
+/// Pins the exact ITS RNG decision stream of the default seed: any change
+/// to how `RandomScheduler` consumes its RNG — reordered draws, skipped
+/// single-candidate consultations, a different reseed — changes this
+/// digest even if the schedule happens to coincide.
+#[test]
+fn its_decision_stream_digest_is_pinned() {
+    let w = workloads::by_name("uts").expect("uts exists");
+    let seed = bench::DEFAULT_SEED;
+    let prob = golden_gpu(seed, ExecMode::Its).its_split_prob;
+    let mut rec = RecordingScheduler::new(RandomScheduler::new(seed, prob));
+    let _ = run_line_sched(&w, seed, ExecMode::Its, Some(&mut rec));
+    let trace = rec.into_trace();
+    let digest = trace.digest();
+    if std::env::var_os("GOLDEN_WRITE").is_some() {
+        eprintln!("uts ITS decision digest: {digest:#018x} ({} decisions)", trace.decisions.len());
+        return;
+    }
+    assert_eq!(
+        digest, PINNED_UTS_ITS_DIGEST,
+        "RandomScheduler RNG decision sequence changed ({} decisions)",
+        trace.decisions.len()
+    );
+}
+
+/// Recorded from the seed build via `GOLDEN_WRITE=1` (see above);
+/// 1869 decisions for `uts` at the default seed.
+const PINNED_UTS_ITS_DIGEST: u64 = 0x9af2_f5a0_8ea1_1890;

@@ -47,6 +47,7 @@ pub mod ir;
 pub mod kernel;
 pub mod machine;
 pub mod mem;
+pub mod sched;
 pub mod timing;
 
 /// Convenient glob import for workload and tool authors.
@@ -61,5 +62,9 @@ pub mod prelude {
     };
     pub use crate::kernel::Kernel;
     pub use crate::machine::{Gpu, GpuConfig, LaunchStats};
+    pub use crate::sched::{
+        Decision, EnumeratingScheduler, LaunchContext, RandomScheduler, RecordingScheduler,
+        ReplayScheduler, ScheduleTrace, Scheduler,
+    };
     pub use crate::timing::{Clock, CostCategory, CostModel, COST_CATEGORIES};
 }

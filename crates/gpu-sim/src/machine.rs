@@ -23,14 +23,12 @@
 //! starve their producer; true livelocks (e.g. per-thread locks under
 //! lockstep, §6.6) hit the step watchdog and report [`SimError::Timeout`].
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-
 use crate::error::SimError;
 use crate::hook::{AccessKind, ExecMode, Hook, LaneAccess, LaunchInfo, MemAccess, SyncEvent};
 use crate::ir::{AluOp, CmpOp, Instr, Operand, Reg, Space, Special, NUM_REGS, WARP_SIZE};
 use crate::kernel::Kernel;
 use crate::mem::GlobalMem;
+use crate::sched::{LaunchContext, RandomScheduler, Scheduler};
 use crate::timing::{Clock, CostCategory, CostModel, Phase, PhaseTimes};
 use std::time::Instant;
 
@@ -296,6 +294,10 @@ impl Gpu {
 
     /// Launches `kernel` on a 1-D grid with an attached tool, running it to
     /// completion (or fault/timeout).
+    ///
+    /// Scheduling decisions come from the production [`RandomScheduler`]
+    /// seeded from [`GpuConfig::seed`]; [`Gpu::launch_with`] accepts any
+    /// [`Scheduler`] instead.
     pub fn launch(
         &mut self,
         kernel: &Kernel,
@@ -303,6 +305,21 @@ impl Gpu {
         block_dim: u32,
         params: &[u32],
         hook: &mut dyn Hook,
+    ) -> Result<LaunchStats, SimError> {
+        let mut sched = RandomScheduler::new(self.cfg.seed, self.cfg.its_split_prob);
+        self.launch_with(kernel, grid_dim, block_dim, params, hook, &mut sched)
+    }
+
+    /// Launches `kernel` with an explicit [`Scheduler`] driving every
+    /// warp-split decision (replay, systematic enumeration, recording).
+    pub fn launch_with(
+        &mut self,
+        kernel: &Kernel,
+        grid_dim: u32,
+        block_dim: u32,
+        params: &[u32],
+        hook: &mut dyn Hook,
+        sched: &mut dyn Scheduler,
     ) -> Result<LaunchStats, SimError> {
         if block_dim == 0 || block_dim > 1024 {
             return Err(SimError::BadLaunch {
@@ -354,8 +371,11 @@ impl Gpu {
             })
             .collect();
 
-        let mut rng =
-            SmallRng::seed_from_u64(self.cfg.seed ^ ((grid_dim as u64) << 32) ^ block_dim as u64);
+        sched.begin_launch(&LaunchContext {
+            grid_dim,
+            block_dim,
+            mode: self.cfg.mode,
+        });
         let mut run = RunState {
             kernel,
             code: predecode(&kernel.code, &self.cfg.cost),
@@ -378,6 +398,12 @@ impl Gpu {
         // nothing).
         let mut pcs_scratch: Vec<usize> = Vec::with_capacity(WARP_SIZE);
         let mut lanes_scratch: Vec<usize> = Vec::with_capacity(WARP_SIZE);
+        let warp_choice = sched.wants_warp_choice();
+        let mut runnable_scratch: Vec<usize> = if warp_choice {
+            Vec::with_capacity(warp_list.len())
+        } else {
+            Vec::new()
+        };
 
         while run.live > 0 {
             run.stats.steps += 1;
@@ -388,23 +414,54 @@ impl Gpu {
                     steps: run.stats.steps,
                 });
             }
-            // Find the next warp with a runnable split.
             let mut executed = false;
-            for scan in 0..warp_list.len() {
-                let (bi, wi) = warp_list[(cursor + scan) % warp_list.len()];
-                if pick_split(
-                    &blocks[bi],
-                    wi,
-                    self.cfg.mode,
-                    self.cfg.its_split_prob,
-                    &mut rng,
-                    &mut pcs_scratch,
-                    &mut lanes_scratch,
-                ) {
-                    cursor = (cursor + scan + 1) % warp_list.len();
+            if warp_choice {
+                // Systematic mode: offer the scheduler every warp with a
+                // runnable lane, in flat (block, warp) order.
+                runnable_scratch.clear();
+                for (idx, &(bi, wi)) in warp_list.iter().enumerate() {
+                    if warp_has_runnable(&blocks[bi], wi) {
+                        runnable_scratch.push(idx);
+                    }
+                }
+                if !runnable_scratch.is_empty() {
+                    let pick = if runnable_scratch.len() == 1 {
+                        runnable_scratch[0]
+                    } else {
+                        let i = sched.choose_warp(runnable_scratch.len());
+                        runnable_scratch[i.min(runnable_scratch.len() - 1)]
+                    };
+                    let (bi, wi) = warp_list[pick];
+                    let ok = pick_split(
+                        &blocks[bi],
+                        wi,
+                        self.cfg.mode,
+                        sched,
+                        &mut pcs_scratch,
+                        &mut lanes_scratch,
+                    );
+                    debug_assert!(ok, "chosen warp lost its runnable lanes");
                     self.exec_split(&mut blocks, bi, wi, &lanes_scratch, &mut run, hook)?;
                     executed = true;
-                    break;
+                }
+            } else {
+                // Production mode: fair round-robin scan for the next warp
+                // with a runnable split.
+                for scan in 0..warp_list.len() {
+                    let (bi, wi) = warp_list[(cursor + scan) % warp_list.len()];
+                    if pick_split(
+                        &blocks[bi],
+                        wi,
+                        self.cfg.mode,
+                        sched,
+                        &mut pcs_scratch,
+                        &mut lanes_scratch,
+                    ) {
+                        cursor = (cursor + scan + 1) % warp_list.len();
+                        self.exec_split(&mut blocks, bi, wi, &lanes_scratch, &mut run, hook)?;
+                        executed = true;
+                        break;
+                    }
                 }
             }
             if !executed {
@@ -917,15 +974,27 @@ fn predecode(code: &[Instr], cost: &CostModel) -> Vec<Decoded> {
         .collect()
 }
 
+/// Whether warp `wi` of `block` has at least one runnable lane (cheap
+/// pre-filter for the warp-choice scheduling path).
+fn warp_has_runnable(block: &Block, wi: usize) -> bool {
+    let warp_base = wi * WARP_SIZE;
+    let end = (warp_base + WARP_SIZE).min(block.threads.len());
+    block.threads[warp_base..end]
+        .iter()
+        .any(|t| t.status == Status::Ready)
+}
+
 /// Chooses the lanes (indices within the warp) to execute next for warp
 /// `wi` of `block` into `out`; returns false if no lane is runnable. The
 /// caller-owned `pcs`/`out` scratch buffers make this allocation-free.
+/// All non-forced choices are delegated to `sched`; the scheduler is not
+/// consulted at all when the warp has no runnable lane, so the production
+/// round-robin scan consumes no randomness while skipping idle warps.
 fn pick_split(
     block: &Block,
     wi: usize,
     mode: ExecMode,
-    split_prob: f64,
-    rng: &mut SmallRng,
+    sched: &mut dyn Scheduler,
     pcs: &mut Vec<usize>,
     out: &mut Vec<usize>,
 ) -> bool {
@@ -951,16 +1020,21 @@ fn pick_split(
             pcs.extend(out.iter().map(|&l| block.threads[warp_base + l].pc));
             pcs.sort_unstable();
             pcs.dedup();
-            pcs[rng.random_range(0..pcs.len())]
+            // Consulted even for a single candidate: the production
+            // scheduler historically drew from its RNG here, and the
+            // byte-identity contract preserves every draw.
+            pcs[sched.choose_pc(pcs.len()).min(pcs.len() - 1)]
         }
     };
     out.retain(|&l| block.threads[warp_base + l].pc == chosen_pc);
     // Under ITS, converged threads may split apart at any time.
-    if mode == ExecMode::Its && out.len() > 1 && rng.random_bool(split_prob) {
-        let keep = rng.random_range(1..out.len());
-        let start = rng.random_range(0..=out.len() - keep);
-        out.drain(..start);
-        out.truncate(keep);
+    if mode == ExecMode::Its && out.len() > 1 {
+        if let Some((start, keep)) = sched.choose_subdivision(out.len()) {
+            let keep = keep.clamp(1, out.len() - 1);
+            let start = start.min(out.len() - keep);
+            out.drain(..start);
+            out.truncate(keep);
+        }
     }
     true
 }

@@ -1,0 +1,208 @@
+//! Versioned regression corpus of oracle-checked kernels.
+//!
+//! Every spec that ever produced an interesting verdict — a race class, an
+//! explained detector divergence, a shrunk campaign failure — is pinned
+//! here as one line: the spec, the oracle verdict, the witness schedule
+//! trace (if racy), and the iGUARD verdict that was observed. A tier-1 test
+//! replays the whole file deterministically, so a detector or scheduler
+//! regression flips a recorded line instead of hiding behind fresh random
+//! kernels.
+//!
+//! Line format (`|`-separated, `#` comments, blank lines ignored):
+//!
+//! ```text
+//! # oracle-corpus v1
+//! <spec> | racy|clean | <witness trace or -> | iguard:flagged|clean
+//! ```
+
+use gpu_sim::sched::{ReplayScheduler, ScheduleTrace};
+
+use crate::diff::{diff_spec, DiffConfig, Verdict};
+use crate::explore::oracle_gpu_config;
+use crate::observer::Observer;
+use crate::spec::{KernelSpec, NUM_SLOTS};
+
+/// First line of every corpus file; bump on format changes.
+pub const CORPUS_HEADER: &str = "# oracle-corpus v1";
+
+/// One pinned kernel + expected verdicts.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    pub spec: KernelSpec,
+    /// Ground-truth oracle verdict at record time.
+    pub racy: bool,
+    /// Schedule trace exhibiting the race (racy entries only).
+    pub witness: Option<ScheduleTrace>,
+    /// Whether iGUARD flagged the kernel at record time.
+    pub iguard_flagged: bool,
+}
+
+/// Runs the full differential check and pins its outcome as a corpus entry.
+#[must_use]
+pub fn entry_for(spec: &KernelSpec, cfg: &DiffConfig) -> CorpusEntry {
+    let r = diff_spec(spec, cfg);
+    CorpusEntry {
+        spec: spec.clone(),
+        racy: r.oracle.racy,
+        witness: r.oracle.witness,
+        iguard_flagged: r.iguard == Verdict::Flagged,
+    }
+}
+
+/// Serializes entries to the versioned text format.
+#[must_use]
+pub fn format(entries: &[CorpusEntry]) -> String {
+    let mut out = String::from(CORPUS_HEADER);
+    out.push('\n');
+    for e in entries {
+        out.push_str(&format!(
+            "{} | {} | {} | iguard:{}\n",
+            e.spec.to_compact_string(),
+            if e.racy { "racy" } else { "clean" },
+            e.witness
+                .as_ref()
+                .map_or_else(|| "-".to_string(), ScheduleTrace::to_compact_string),
+            if e.iguard_flagged { "flagged" } else { "clean" },
+        ));
+    }
+    out
+}
+
+/// Parses a corpus file; rejects unknown versions and malformed lines.
+pub fn parse(text: &str) -> Result<Vec<CorpusEntry>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == CORPUS_HEADER => {}
+        other => return Err(format!("bad corpus header: {other:?}")),
+    }
+    let mut entries = Vec::new();
+    for (n, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(format!("line {}: expected 4 fields, got {}", n + 2, fields.len()));
+        }
+        let spec = KernelSpec::parse(fields[0]).map_err(|e| format!("line {}: {e}", n + 2))?;
+        let racy = match fields[1] {
+            "racy" => true,
+            "clean" => false,
+            other => return Err(format!("line {}: bad verdict {other:?}", n + 2)),
+        };
+        let witness = if fields[2] == "-" {
+            None
+        } else {
+            Some(ScheduleTrace::parse(fields[2]).map_err(|e| format!("line {}: {e}", n + 2))?)
+        };
+        let iguard_flagged = match fields[3] {
+            "iguard:flagged" => true,
+            "iguard:clean" => false,
+            other => return Err(format!("line {}: bad iguard verdict {other:?}", n + 2)),
+        };
+        entries.push(CorpusEntry {
+            spec,
+            racy,
+            witness,
+            iguard_flagged,
+        });
+    }
+    Ok(entries)
+}
+
+/// Replays one entry against today's code: the oracle verdict, the iGUARD
+/// verdict, and the witness trace must all still hold.
+pub fn verify(entry: &CorpusEntry, cfg: &DiffConfig) -> Result<(), String> {
+    let label = entry.spec.to_compact_string();
+
+    // The witness trace must still drive a full launch to completion.
+    if let Some(trace) = &entry.witness {
+        let mut gpu = gpu_sim::machine::Gpu::new(oracle_gpu_config(cfg.explore.max_steps));
+        let buf = gpu
+            .alloc(NUM_SLOTS as usize)
+            .map_err(|e| format!("{label}: alloc failed: {e}"))?;
+        let (grid, block) = entry.spec.grid_block();
+        let kernel = entry.spec.build();
+        let mut obs = Observer::default();
+        let mut sched = ReplayScheduler::new(trace.clone());
+        gpu.launch_with(&kernel, grid, block, &[buf], &mut obs, &mut sched)
+            .map_err(|e| format!("{label}: witness replay failed: {e}"))?;
+        if !sched.finished() {
+            return Err(format!("{label}: witness trace not fully consumed"));
+        }
+    }
+
+    let r = diff_spec(&entry.spec, cfg);
+    if r.oracle.racy != entry.racy {
+        return Err(format!(
+            "{label}: oracle verdict changed: recorded {}, now {}",
+            entry.racy, r.oracle.racy
+        ));
+    }
+    let now_flagged = r.iguard == Verdict::Flagged;
+    if now_flagged != entry.iguard_flagged {
+        return Err(format!(
+            "{label}: iguard verdict changed: recorded {}, now {}",
+            entry.iguard_flagged, now_flagged
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Op, Placement};
+
+    fn racy_spec() -> KernelSpec {
+        KernelSpec {
+            placement: Placement::CrossBlock,
+            actors: [vec![Op::Store { slot: 0 }], vec![Op::Load { slot: 0 }]],
+        }
+    }
+
+    #[test]
+    fn format_parse_roundtrip() {
+        let cfg = DiffConfig::default();
+        let entries = vec![
+            entry_for(&racy_spec(), &cfg),
+            entry_for(
+                &KernelSpec {
+                    placement: Placement::SameWarp,
+                    actors: [vec![Op::Load { slot: 0 }], vec![Op::Load { slot: 0 }]],
+                },
+                &cfg,
+            ),
+        ];
+        assert!(entries[0].racy && entries[0].witness.is_some());
+        assert!(!entries[1].racy && entries[1].witness.is_none());
+        let text = format(&entries);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].spec, entries[0].spec);
+        assert_eq!(back[0].racy, entries[0].racy);
+        assert_eq!(
+            back[0].witness.as_ref().map(ScheduleTrace::digest),
+            entries[0].witness.as_ref().map(ScheduleTrace::digest)
+        );
+        assert_eq!(back[1].iguard_flagged, entries[1].iguard_flagged);
+    }
+
+    #[test]
+    fn recorded_entries_verify_against_current_code() {
+        let cfg = DiffConfig::default();
+        let e = entry_for(&racy_spec(), &cfg);
+        verify(&e, &cfg).unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("no header\n").is_err());
+        assert!(parse(&format!("{CORPUS_HEADER}\nonly | three | fields\n")).is_err());
+        assert!(parse(&format!(
+            "{CORPUS_HEADER}\nv1;CB;S0/L0 | maybe | - | iguard:flagged\n"
+        ))
+        .is_err());
+    }
+}

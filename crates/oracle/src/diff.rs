@@ -1,0 +1,393 @@
+//! Differential check: detectors vs the enumeration oracle.
+//!
+//! For one [`KernelSpec`] the oracle verdict comes from
+//! [`explore`](crate::explore::explore) — every reachable ITS schedule, so
+//! "racy" and "clean" are facts, not samples. Each detector then runs over
+//! the *same* kernel on a handful of random schedules **plus a replay of the
+//! oracle's witness schedule** (hooks never influence scheduling decisions,
+//! so a trace recorded under the observer replays bit-identically under an
+//! instrumented detector). Replaying the witness removes schedule-sampling
+//! luck from the false-negative classification: if the detector stays silent
+//! on the very interleaving that exhibits the race, the miss is the
+//! detector's, not the sampler's.
+//!
+//! Divergences the paper itself predicts are *explained*, not failures:
+//!
+//! - `barracuda-unsupported` — the front end refuses scoped atomics and
+//!   warp-level barriers (§4 / Table 4).
+//! - `barracuda-its-blind` — same-warp accesses are assumed
+//!   lockstep-ordered, so every purely intra-warp race is invisible (§4).
+//! - `barracuda-benign-atomic-read` — no P6 equivalent: plain loads of
+//!   atomically-updated words (flag polling) are reported as races.
+//! - `iguard-fence-approximation` — iGUARD models the release side of a
+//!   `membar` conservatively, so fence-dependent verdicts may differ (§6.2).
+//! - `oracle-incomplete` — the enumeration hit its budget, so a "clean"
+//!   oracle verdict is only a lower bound and a detector flag on top of it
+//!   is not evidence of a false positive.
+//!
+//! Anything else is an **unexplained** divergence and fails the campaign.
+
+use barracuda::{self, Barracuda, BarracudaConfig, BinaryKind};
+use gpu_sim::machine::{Gpu, GpuConfig};
+use gpu_sim::sched::{ReplayScheduler, ScheduleTrace};
+use iguard::Iguard;
+use nvbit_sim::Instrumented;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::explore::{explore, oracle_gpu_config, ExploreConfig, OracleReport};
+use crate::spec::{KernelSpec, Op, NUM_SLOTS};
+
+/// How hard the differential check tries per kernel.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Oracle enumeration budget.
+    pub explore: ExploreConfig,
+    /// Random-scheduler seeds each detector runs under (in addition to the
+    /// witness replay).
+    pub seeds: Vec<u64>,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            explore: ExploreConfig::default(),
+            seeds: vec![1, 2, 3],
+        }
+    }
+}
+
+/// One detector's verdict on one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The front end refused the kernel (Barracuda only).
+    Unsupported,
+    /// Flagged at least one race on at least one run.
+    Flagged,
+    /// Silent on every run, including the witness replay.
+    Clean,
+}
+
+/// A detector/oracle disagreement, classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// `"iguard"` or `"barracuda"`.
+    pub detector: &'static str,
+    /// True when the oracle says racy and the detector stayed silent
+    /// (false negative); false for the false-positive direction.
+    pub false_negative: bool,
+    /// A paper-predicted reason, or `None` for an unexplained divergence.
+    pub explanation: Option<&'static str>,
+}
+
+/// Full differential result for one kernel.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    pub spec: KernelSpec,
+    pub oracle: OracleReport,
+    pub iguard: Verdict,
+    pub barracuda: Verdict,
+    pub divergences: Vec<Divergence>,
+}
+
+impl DiffReport {
+    /// Divergences with no paper-predicted explanation. A non-empty result
+    /// fails the campaign.
+    #[must_use]
+    pub fn unexplained(&self) -> Vec<Divergence> {
+        self.divergences
+            .iter()
+            .copied()
+            .filter(|d| d.explanation.is_none())
+            .collect()
+    }
+
+    /// One-line human summary, for campaign logs and shrunk repros.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "{} oracle={} ({} schedules{}) iguard={:?} barracuda={:?}",
+            self.spec.to_compact_string(),
+            if self.oracle.racy { "racy" } else { "clean" },
+            self.oracle.schedules,
+            if self.oracle.complete {
+                ""
+            } else {
+                ", truncated"
+            },
+            self.iguard,
+            self.barracuda,
+        );
+        for d in &self.divergences {
+            s.push_str(&format!(
+                " [{} {}: {}]",
+                d.detector,
+                if d.false_negative { "FN" } else { "FP" },
+                d.explanation.unwrap_or("UNEXPLAINED"),
+            ));
+        }
+        s
+    }
+}
+
+fn detector_gpu(seed: u64, cfg: &ExploreConfig) -> (Gpu, u32) {
+    let mut gpu = Gpu::new(GpuConfig {
+        seed,
+        ..oracle_gpu_config(cfg.max_steps)
+    });
+    let buf = gpu
+        .alloc(NUM_SLOTS as usize)
+        .expect("oracle slot buffer fits");
+    (gpu, buf)
+}
+
+/// Runs iGUARD on one random schedule (or a witness replay) and reports
+/// whether it flagged anything.
+fn iguard_flags(
+    spec: &KernelSpec,
+    seed: u64,
+    replay: Option<&ScheduleTrace>,
+    cfg: &DiffConfig,
+) -> bool {
+    let kernel = spec.build();
+    let (grid, block) = spec.grid_block();
+    let (mut gpu, buf) = detector_gpu(seed, &cfg.explore);
+    let mut tool = Instrumented::new(Iguard::default());
+    let result = match replay {
+        Some(trace) => {
+            let mut sched = ReplayScheduler::new(trace.clone());
+            gpu.launch_with(&kernel, grid, block, &[buf], &mut tool, &mut sched)
+        }
+        None => gpu.launch(&kernel, grid, block, &[buf], &mut tool),
+    };
+    result.unwrap_or_else(|e| panic!("iguard run of {} failed: {e}", spec.to_compact_string()));
+    tool.tool().unique_races() > 0
+}
+
+/// Runs Barracuda likewise. `None` means the front end refused the kernel.
+fn barracuda_flags(
+    spec: &KernelSpec,
+    seed: u64,
+    replay: Option<&ScheduleTrace>,
+    cfg: &DiffConfig,
+) -> Option<bool> {
+    let kernel = spec.build();
+    barracuda::supports(&[&kernel], BinaryKind::SingleFile).ok()?;
+    let (grid, block) = spec.grid_block();
+    let (mut gpu, buf) = detector_gpu(seed, &cfg.explore);
+    let mut tool = Instrumented::new(Barracuda::new(BarracudaConfig::default()));
+    let result = match replay {
+        Some(trace) => {
+            let mut sched = ReplayScheduler::new(trace.clone());
+            gpu.launch_with(&kernel, grid, block, &[buf], &mut tool, &mut sched)
+        }
+        None => gpu.launch(&kernel, grid, block, &[buf], &mut tool),
+    };
+    result.unwrap_or_else(|e| panic!("barracuda run of {} failed: {e}", spec.to_compact_string()));
+    Some(!tool.tool_mut().finish(gpu.clock_mut()).is_empty())
+}
+
+/// Explains an iGUARD false negative, if the paper predicts one.
+fn explain_iguard_fn(spec: &KernelSpec) -> Option<&'static str> {
+    spec.has_fence().then_some("iguard-fence-approximation")
+}
+
+/// Explains a Barracuda false negative, if the paper predicts one.
+fn explain_barracuda_fn(spec: &KernelSpec, oracle: &OracleReport) -> Option<&'static str> {
+    if oracle.kinds().iter().all(|k| *k == "ITS" || *k == "BR") {
+        // Every race is intra-warp: hidden by the lockstep assumption.
+        return Some("barracuda-its-blind");
+    }
+    spec.has_fence().then_some("barracuda-fence-model")
+}
+
+/// Explains a Barracuda false positive, if the paper predicts one:
+/// Barracuda's HB engine has no benign-atomic-read convention (iGUARD's
+/// P6), so a plain load of a word updated by sufficient-scope atomics —
+/// the flag-polling idiom the paper uses to motivate P6 — is reported as
+/// a write-read race.
+fn explain_barracuda_fp(spec: &KernelSpec) -> Option<&'static str> {
+    let touches = |ops: &[Op], want_atomic: bool, s: u8| {
+        ops.iter().any(|op| match *op {
+            Op::AtomicAdd { slot, .. } => want_atomic && slot == s,
+            Op::Load { slot } => !want_atomic && slot == s,
+            _ => false,
+        })
+    };
+    let [a0, a1] = &spec.actors;
+    let benign_pair = (0..crate::spec::NUM_SLOTS).any(|s| {
+        (touches(a0, true, s) && touches(a1, false, s))
+            || (touches(a1, true, s) && touches(a0, false, s))
+    });
+    benign_pair.then_some("barracuda-benign-atomic-read")
+}
+
+/// The full differential check for one kernel spec.
+#[must_use]
+pub fn diff_spec(spec: &KernelSpec, cfg: &DiffConfig) -> DiffReport {
+    let oracle = explore(spec, &cfg.explore);
+    // Both orders of the racing pair: detection can be order-sensitive.
+    let witnesses: Vec<&ScheduleTrace> = [&oracle.witness, &oracle.counter_witness]
+        .into_iter()
+        .filter_map(Option::as_ref)
+        .collect();
+
+    let mut ig = cfg.seeds.iter().any(|&s| iguard_flags(spec, s, None, cfg));
+    if !ig {
+        ig = witnesses.iter().any(|t| iguard_flags(spec, 0, Some(t), cfg));
+    }
+    let iguard = if ig { Verdict::Flagged } else { Verdict::Clean };
+
+    let mut ba = match barracuda_flags(spec, cfg.seeds.first().copied().unwrap_or(1), None, cfg) {
+        None => Verdict::Unsupported,
+        Some(true) => Verdict::Flagged,
+        Some(false) => Verdict::Clean,
+    };
+    if ba == Verdict::Clean {
+        for &s in cfg.seeds.iter().skip(1) {
+            if barracuda_flags(spec, s, None, cfg) == Some(true) {
+                ba = Verdict::Flagged;
+                break;
+            }
+        }
+        if ba == Verdict::Clean
+            && witnesses
+                .iter()
+                .any(|t| barracuda_flags(spec, 0, Some(t), cfg) == Some(true))
+        {
+            ba = Verdict::Flagged;
+        }
+    }
+
+    let mut divergences = Vec::new();
+    match (oracle.racy, iguard) {
+        (true, Verdict::Clean) => divergences.push(Divergence {
+            detector: "iguard",
+            false_negative: true,
+            explanation: explain_iguard_fn(spec),
+        }),
+        (false, Verdict::Flagged) => divergences.push(Divergence {
+            detector: "iguard",
+            false_negative: false,
+            // An incomplete enumeration makes "clean" a lower bound only.
+            explanation: (!oracle.complete).then_some("oracle-incomplete"),
+        }),
+        _ => {}
+    }
+    match (oracle.racy, ba) {
+        (true, Verdict::Unsupported) => divergences.push(Divergence {
+            detector: "barracuda",
+            false_negative: true,
+            explanation: Some("barracuda-unsupported"),
+        }),
+        (true, Verdict::Clean) => divergences.push(Divergence {
+            detector: "barracuda",
+            false_negative: true,
+            explanation: explain_barracuda_fn(spec, &oracle),
+        }),
+        (false, Verdict::Flagged) => divergences.push(Divergence {
+            detector: "barracuda",
+            false_negative: false,
+            explanation: explain_barracuda_fp(spec)
+                .or_else(|| (!oracle.complete).then_some("oracle-incomplete")),
+        }),
+        _ => {}
+    }
+
+    DiffReport {
+        spec: spec.clone(),
+        oracle,
+        iguard,
+        barracuda: ba,
+        divergences,
+    }
+}
+
+/// Deterministic spec stream for a campaign: `n` kernels from `seed`.
+#[must_use]
+pub fn generate_specs(n: usize, seed: u64) -> Vec<KernelSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| KernelSpec::random(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Op, Placement};
+    use gpu_sim::ir::Scope;
+
+    fn spec(placement: Placement, a0: Vec<Op>, a1: Vec<Op>) -> KernelSpec {
+        KernelSpec {
+            placement,
+            actors: [a0, a1],
+        }
+    }
+
+    #[test]
+    fn iguard_agrees_on_a_cross_block_race() {
+        let s = spec(
+            Placement::CrossBlock,
+            vec![Op::Store { slot: 0 }],
+            vec![Op::Load { slot: 0 }],
+        );
+        let r = diff_spec(&s, &DiffConfig::default());
+        assert!(r.oracle.racy);
+        assert_eq!(r.iguard, Verdict::Flagged);
+        assert!(r.unexplained().is_empty(), "{}", r.describe());
+    }
+
+    #[test]
+    fn barracuda_miss_of_an_its_race_is_explained() {
+        let s = spec(
+            Placement::SameWarp,
+            vec![Op::Store { slot: 1 }],
+            vec![Op::Load { slot: 1 }],
+        );
+        let r = diff_spec(&s, &DiffConfig::default());
+        assert!(r.oracle.racy);
+        assert_eq!(r.iguard, Verdict::Flagged, "{}", r.describe());
+        assert_eq!(r.barracuda, Verdict::Clean, "{}", r.describe());
+        let div: Vec<_> = r.divergences.iter().collect();
+        assert_eq!(div.len(), 1);
+        assert_eq!(div[0].explanation, Some("barracuda-its-blind"));
+        assert!(r.unexplained().is_empty());
+    }
+
+    #[test]
+    fn scoped_atomic_kernels_divert_to_barracuda_unsupported() {
+        let s = spec(
+            Placement::CrossBlock,
+            vec![Op::AtomicAdd {
+                slot: 0,
+                scope: Scope::Block,
+            }],
+            vec![Op::AtomicAdd {
+                slot: 0,
+                scope: Scope::Block,
+            }],
+        );
+        let r = diff_spec(&s, &DiffConfig::default());
+        assert!(r.oracle.racy, "{}", r.describe());
+        assert_eq!(r.barracuda, Verdict::Unsupported);
+        assert!(r
+            .divergences
+            .iter()
+            .all(|d| d.explanation == Some("barracuda-unsupported")
+                || d.detector == "iguard"));
+        assert!(r.unexplained().is_empty(), "{}", r.describe());
+    }
+
+    #[test]
+    fn clean_kernels_produce_no_divergence() {
+        let s = spec(
+            Placement::CrossBlock,
+            vec![Op::Load { slot: 0 }, Op::Store { slot: 1 }],
+            vec![Op::Load { slot: 0 }, Op::Store { slot: 2 }],
+        );
+        let r = diff_spec(&s, &DiffConfig::default());
+        assert!(!r.oracle.racy);
+        assert!(r.oracle.complete);
+        assert_eq!(r.iguard, Verdict::Clean, "{}", r.describe());
+        assert!(r.divergences.is_empty(), "{}", r.describe());
+    }
+}

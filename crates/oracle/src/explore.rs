@@ -1,0 +1,473 @@
+//! Bounded exhaustive schedule exploration and the order-variance oracle.
+//!
+//! # Ground truth by order variance
+//!
+//! For the kernel family of [`crate::spec`], control flow is
+//! schedule-independent, so the k-th dynamic access of a given thread is
+//! the same static operation in every schedule — an access *instance*
+//! `(block, tid, ordinal)` is well-defined across the whole schedule
+//! space. Two conflicting instances race **iff the enumeration observes
+//! them in both orders**: if every feasible schedule runs them in one
+//! order, the program's synchronization (barriers blocking progress)
+//! enforces that order, and the pair is properly synchronized. The
+//! enumeration executes real machine semantics, so barrier blocking,
+//! exit-releases, and ITS interleaving are all accounted for without a
+//! happens-before model — the verdict is definitionally ground truth as
+//! long as the space was covered completely ([`OracleReport::complete`]).
+//!
+//! # Conflict rules
+//!
+//! Mirrors the paper's treatment (§3, §6.2): load/load never conflicts;
+//! plain-write pairs and atomic-vs-plain pairs always do; atomic/atomic
+//! pairs conflict only across blocks when either side's scope is
+//! insufficient (`.block` scope — the AS class). Device-scope atomic
+//! pairs are synchronization, not races, even though they commute in both
+//! orders.
+
+use std::collections::HashMap;
+
+use gpu_sim::hook::ExecMode;
+use gpu_sim::machine::{Gpu, GpuConfig};
+use gpu_sim::prelude::{EnumeratingScheduler, RecordingScheduler, ScheduleTrace};
+use gpu_sim::ir::Scope;
+
+use crate::observer::{ObservedAccess, Observer};
+use crate::spec::{KernelSpec, NUM_SLOTS};
+
+/// Bounds on the exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Maximum branching decisions per schedule (DFS depth budget).
+    pub max_decisions: usize,
+    /// Maximum schedules to visit before giving up on completeness.
+    pub max_schedules: u64,
+    /// Per-schedule step watchdog.
+    pub max_steps: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_decisions: 128,
+            max_schedules: 200_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+/// The GPU configuration used for every oracle run: tiny backing store
+/// (the slot pool is 4 words) so the ~10⁴–10⁵ launches of an exploration
+/// cost microseconds each, not milliseconds of memory zeroing.
+#[must_use]
+pub fn oracle_gpu_config(max_steps: u64) -> GpuConfig {
+    GpuConfig {
+        num_sms: 2,
+        mem_words: 64,
+        max_steps,
+        mode: ExecMode::Its,
+        // Unused under an EnumeratingScheduler; relevant only when the
+        // same config drives random-path detector runs.
+        seed: 0,
+        its_split_prob: 0.3,
+        ..GpuConfig::default()
+    }
+}
+
+/// One racing instance pair, classified by the accessors' relationship.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleRace {
+    /// `"ITS"` (same warp), `"BR"` (same block, different warp),
+    /// `"DR"` (different blocks), or `"AS"` (atomic/atomic across blocks
+    /// with insufficient scope) — the paper's Table 4 codes.
+    pub kind: &'static str,
+    /// Byte address raced on.
+    pub addr: u32,
+    /// `(block, tid_in_block, pc)` of the two instances.
+    pub a: (u32, u32, usize),
+    pub b: (u32, u32, usize),
+}
+
+/// The oracle's verdict over the explored schedule space.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Whether any conflicting pair was observed in both orders.
+    pub racy: bool,
+    /// Whether the whole bounded schedule space was covered. Racy
+    /// verdicts are sound regardless; clean verdicts are only conclusive
+    /// when complete.
+    pub complete: bool,
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Distinct racing pairs.
+    pub races: Vec<OracleRace>,
+    /// A schedule exhibiting one racing pair in one order.
+    pub witness: Option<ScheduleTrace>,
+    /// A schedule exhibiting the *same* pair in the opposite order.
+    /// Dynamic detectors can be order-sensitive (e.g. R1 fires only when
+    /// the insufficient-scope atomic precedes the plain access), so a fair
+    /// false-negative verdict must replay both.
+    pub counter_witness: Option<ScheduleTrace>,
+}
+
+impl OracleReport {
+    /// Race kind codes, deduplicated, sorted.
+    #[must_use]
+    pub fn kinds(&self) -> Vec<&'static str> {
+        let mut k: Vec<&'static str> = self.races.iter().map(|r| r.kind).collect();
+        k.sort_unstable();
+        k.dedup();
+        k
+    }
+}
+
+/// An access instance: `(block, tid_in_block, per-thread ordinal)`.
+type Instance = (u32, u32, u32);
+
+struct PairState {
+    /// Trace of the schedule where "lower instance first" was observed.
+    fwd: Option<ScheduleTrace>,
+    /// Trace of the schedule with the opposite order.
+    rev: Option<ScheduleTrace>,
+    race: OracleRace,
+}
+
+impl PairState {
+    fn racy(&self) -> bool {
+        self.fwd.is_some() && self.rev.is_some()
+    }
+}
+
+/// Exhaustively explores the ITS schedule space of `spec` (up to the
+/// bounds) and returns the ground-truth verdict.
+///
+/// # Panics
+/// Panics if a launch faults — the spec family is fault-free by
+/// construction, so a fault is a generator or simulator bug.
+#[must_use]
+pub fn explore(spec: &KernelSpec, cfg: &ExploreConfig) -> OracleReport {
+    let kernel = spec.build();
+    let (grid, block_dim) = spec.grid_block();
+    let mut enumerator = EnumeratingScheduler::new(cfg.max_decisions);
+    let mut pairs: HashMap<(Instance, Instance), PairState> = HashMap::new();
+    let hit_cap;
+
+    loop {
+        let mut gpu = Gpu::new(oracle_gpu_config(cfg.max_steps));
+        let buf = gpu
+            .alloc(usize::from(NUM_SLOTS))
+            .expect("oracle pool allocation");
+        let mut obs = Observer::default();
+        let mut rec = RecordingScheduler::new(&mut enumerator);
+        gpu.launch_with(&kernel, grid, block_dim, &[buf], &mut obs, &mut rec)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "oracle kernel {} faulted during enumeration: {e}",
+                    spec.to_compact_string()
+                )
+            });
+        let trace = rec.into_trace();
+
+        accumulate_orders(&obs.events, &trace, &mut pairs);
+
+        if !enumerator.advance() {
+            hit_cap = false;
+            break;
+        }
+        if enumerator.schedules_completed() >= cfg.max_schedules {
+            hit_cap = true;
+            break;
+        }
+    }
+
+    // Deterministic witness choice: the racy pair with the smallest key.
+    let mut racy_pairs: Vec<(&(Instance, Instance), &PairState)> =
+        pairs.iter().filter(|(_, p)| p.racy()).collect();
+    racy_pairs.sort_by_key(|(k, _)| **k);
+    let (witness, counter_witness) = racy_pairs
+        .first()
+        .map_or((None, None), |(_, p)| (p.fwd.clone(), p.rev.clone()));
+
+    let races: Vec<OracleRace> = pairs
+        .into_values()
+        .filter(PairState::racy)
+        .map(|p| p.race)
+        .collect();
+    OracleReport {
+        racy: !races.is_empty(),
+        complete: !hit_cap && !enumerator.truncated(),
+        schedules: enumerator.schedules_completed(),
+        races,
+        witness,
+        counter_witness,
+    }
+}
+
+/// Folds one schedule's event sequence into the cross-schedule order map,
+/// remembering `trace` as the witness for each newly observed direction.
+fn accumulate_orders(
+    events: &[ObservedAccess],
+    trace: &ScheduleTrace,
+    pairs: &mut HashMap<(Instance, Instance), PairState>,
+) {
+    // Per-thread ordinals; the family's control flow is
+    // schedule-independent, so ordinals identify instances across runs.
+    let mut ordinals: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut instances: Vec<(Instance, &ObservedAccess)> = Vec::with_capacity(events.len());
+    for e in events {
+        let ord = ordinals.entry((e.block, e.tid_in_block)).or_insert(0);
+        instances.push(((e.block, e.tid_in_block, *ord), e));
+        *ord += 1;
+    }
+
+    for i in 0..instances.len() {
+        for j in (i + 1)..instances.len() {
+            let (ia, ea) = instances[i];
+            let (ib, eb) = instances[j];
+            if !conflicts(ea, eb) {
+                continue;
+            }
+            // Canonical unordered key; `fwd` means "lower instance first".
+            let (key, first_is_lower) = if ia <= ib { ((ia, ib), true) } else { ((ib, ia), false) };
+            let st = pairs.entry(key).or_insert_with(|| PairState {
+                fwd: None,
+                rev: None,
+                race: classify(ea, eb),
+            });
+            if ea.step == eb.step {
+                // Same warp split: simultaneous conflicting accesses
+                // (cannot occur in the current family, handled for
+                // robustness).
+                st.fwd.get_or_insert_with(|| trace.clone());
+                st.rev.get_or_insert_with(|| trace.clone());
+            } else if first_is_lower {
+                st.fwd.get_or_insert_with(|| trace.clone());
+            } else {
+                st.rev.get_or_insert_with(|| trace.clone());
+            }
+        }
+    }
+}
+
+/// Paper-faithful conflict predicate over two dynamic accesses.
+fn conflicts(a: &ObservedAccess, b: &ObservedAccess) -> bool {
+    if a.block == b.block && a.tid_in_block == b.tid_in_block {
+        return false;
+    }
+    if a.addr != b.addr {
+        return false;
+    }
+    if !a.is_write && !b.is_write {
+        return false;
+    }
+    // An atomic paired with another atomic or with a plain *load* is safe
+    // at sufficient scope: RMWs mutually exclude, and word-sized loads of
+    // an atomically-updated word are hardware-atomic (check P6 — the flag
+    // polling idiom). Only an insufficient (.block) scope used across
+    // blocks leaves a race (R1). A plain *store* on either side always
+    // conflicts.
+    let atomic_protected = (a.is_atomic && (b.is_atomic || !b.is_write))
+        || (b.is_atomic && (a.is_atomic || !a.is_write));
+    if atomic_protected {
+        return a.block != b.block
+            && (a.scope == Some(Scope::Block) || b.scope == Some(Scope::Block));
+    }
+    true
+}
+
+/// Classifies a racing pair by accessor relationship (Table 4 codes).
+fn classify(a: &ObservedAccess, b: &ObservedAccess) -> OracleRace {
+    const WARP: u32 = gpu_sim::ir::WARP_SIZE as u32;
+    let kind = if a.block != b.block {
+        // A cross-block race involving a block-scope atomic is the
+        // insufficient-scope class (R1); any other cross-block race is a
+        // plain device race (R4).
+        if a.scope == Some(Scope::Block) || b.scope == Some(Scope::Block) {
+            "AS"
+        } else {
+            "DR"
+        }
+    } else if a.tid_in_block / WARP == b.tid_in_block / WARP {
+        "ITS"
+    } else {
+        "BR"
+    };
+    OracleRace {
+        kind,
+        addr: a.addr,
+        a: (a.block, a.tid_in_block, a.pc),
+        b: (b.block, b.tid_in_block, b.pc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Op, Placement};
+
+    fn sw(actor0: Vec<Op>, actor1: Vec<Op>) -> KernelSpec {
+        KernelSpec {
+            placement: Placement::SameWarp,
+            actors: [actor0, actor1],
+        }
+    }
+
+    fn cb(actor0: Vec<Op>, actor1: Vec<Op>) -> KernelSpec {
+        KernelSpec {
+            placement: Placement::CrossBlock,
+            actors: [actor0, actor1],
+        }
+    }
+
+    #[test]
+    fn same_warp_store_load_is_an_its_race() {
+        let r = explore(
+            &sw(vec![Op::Store { slot: 0 }], vec![Op::Load { slot: 0 }]),
+            &ExploreConfig::default(),
+        );
+        assert!(r.complete);
+        assert!(r.racy);
+        assert_eq!(r.kinds(), vec!["ITS"]);
+        assert!(r.witness.is_some());
+    }
+
+    #[test]
+    fn cross_block_store_store_is_a_dr_race() {
+        let r = explore(
+            &cb(vec![Op::Store { slot: 2 }], vec![Op::Store { slot: 2 }]),
+            &ExploreConfig::default(),
+        );
+        assert!(r.complete);
+        assert!(r.racy);
+        assert_eq!(r.kinds(), vec!["DR"]);
+    }
+
+    #[test]
+    fn block_scope_atomics_across_blocks_are_an_as_race() {
+        let a = |scope| Op::AtomicAdd { slot: 1, scope };
+        let r = explore(
+            &cb(vec![a(Scope::Block)], vec![a(Scope::Block)]),
+            &ExploreConfig::default(),
+        );
+        assert!(r.complete && r.racy);
+        assert_eq!(r.kinds(), vec!["AS"]);
+
+        // Device scope is sufficient: both orders occur, but atomics
+        // synchronize — clean.
+        let r = explore(
+            &cb(vec![a(Scope::Device)], vec![a(Scope::Device)]),
+            &ExploreConfig::default(),
+        );
+        assert!(r.complete);
+        assert!(!r.racy);
+    }
+
+    #[test]
+    fn disjoint_slots_and_read_only_sharing_are_clean() {
+        let r = explore(
+            &sw(vec![Op::Store { slot: 0 }], vec![Op::Store { slot: 1 }]),
+            &ExploreConfig::default(),
+        );
+        assert!(r.complete && !r.racy);
+        let r = explore(
+            &cb(vec![Op::Load { slot: 0 }], vec![Op::Load { slot: 0 }]),
+            &ExploreConfig::default(),
+        );
+        assert!(r.complete && !r.racy);
+    }
+
+    #[test]
+    fn aligned_syncwarp_orders_the_pair() {
+        // store ; syncwarp   ||   syncwarp ; load  — the barrier blocks
+        // the loader until the storer arrives, so only one order is
+        // feasible: clean.
+        let r = explore(
+            &sw(
+                vec![Op::Store { slot: 0 }, Op::SyncWarp],
+                vec![Op::SyncWarp, Op::Load { slot: 0 }],
+            ),
+            &ExploreConfig::default(),
+        );
+        assert!(r.complete, "space must still be fully covered");
+        assert!(!r.racy, "barrier-ordered pair must not be a race");
+
+        // Both accesses on the same side of the barrier: still racy.
+        let r = explore(
+            &sw(
+                vec![Op::Store { slot: 0 }, Op::SyncWarp],
+                vec![Op::Load { slot: 0 }, Op::SyncWarp],
+            ),
+            &ExploreConfig::default(),
+        );
+        assert!(r.complete && r.racy);
+    }
+
+    #[test]
+    fn aligned_syncthreads_orders_same_warp_actors_too() {
+        let r = explore(
+            &sw(
+                vec![Op::Store { slot: 3 }, Op::SyncThreads],
+                vec![Op::SyncThreads, Op::Load { slot: 3 }],
+            ),
+            &ExploreConfig::default(),
+        );
+        assert!(r.complete && !r.racy);
+    }
+
+    #[test]
+    fn schedule_count_is_exactly_the_interleaving_count() {
+        fn binomial(n: u64, k: u64) -> u64 {
+            let mut r = 1u64;
+            for i in 0..k {
+                r = r * (n - i) / (i + 1);
+            }
+            r
+        }
+        // Cross-block: the two single-thread blocks run independent
+        // straight-line paths of lengths m and n (prologue included), and
+        // the schedule space is every merge of the two sequences:
+        // C(m + n, m). The enumerator must count exactly that many.
+        let spec = cb(
+            vec![Op::Store { slot: 0 }, Op::Load { slot: 1 }],
+            vec![Op::Load { slot: 0 }],
+        );
+        let (m, n) = spec.path_lengths();
+        let r = explore(&spec, &ExploreConfig::default());
+        assert!(r.complete);
+        assert_eq!(
+            r.schedules,
+            binomial((m + n) as u64, m as u64),
+            "cross-block schedule space must be all C({m}+{n}, {m}) merges"
+        );
+
+        // Same-warp: the 4-instruction prologue is converged (a single
+        // split with one PC — no choice), so only the two diverged
+        // regions interleave: C(r0 + r1, r0) with region lengths
+        // r = src-imm? + ops + exit.
+        let spec = sw(
+            vec![Op::Store { slot: 0 }, Op::Load { slot: 1 }],
+            vec![Op::Load { slot: 0 }],
+        );
+        let r0 = 1 + 2 + 1; // imm + 2 ops + exit
+        let r1 = 2; // load + exit
+        let rep = explore(&spec, &ExploreConfig::default());
+        assert!(rep.complete);
+        assert_eq!(rep.schedules, binomial((r0 + r1) as u64, r0 as u64));
+    }
+
+    #[test]
+    fn truncation_is_reported_as_incomplete() {
+        let spec = cb(
+            vec![Op::Store { slot: 0 }, Op::Load { slot: 1 }],
+            vec![Op::Load { slot: 0 }],
+        );
+        let r = explore(
+            &spec,
+            &ExploreConfig {
+                max_schedules: 10,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(!r.complete);
+        assert_eq!(r.schedules, 10);
+    }
+}

@@ -1,0 +1,29 @@
+//! Schedule-space ground truth for the race detectors.
+//!
+//! The simulator's ITS mode samples one interleaving per seed, so a detector
+//! test can only say "iGUARD flagged / did not flag this kernel *on the
+//! schedules we happened to draw*". This crate removes the sampling from the
+//! verdict: for a family of tiny two-actor kernels it enumerates **every**
+//! reachable ITS schedule with [`gpu_sim::sched::EnumeratingScheduler`],
+//! derives the ground-truth race verdict from order variance across the
+//! whole space ([`explore`]), and then runs iGUARD and Barracuda over the
+//! same kernels, classifying each disagreement as a false negative / false
+//! positive or as one of the *explained* divergences the paper itself
+//! predicts ([`diff`]).
+//!
+//! Divergent kernels are shrunk to a minimal spec ([`shrink`]) and stored
+//! with their witness schedule trace in a versioned regression corpus
+//! ([`corpus`]) that a tier-1 test replays deterministically.
+
+pub mod corpus;
+pub mod diff;
+pub mod explore;
+pub mod observer;
+pub mod shrink;
+pub mod spec;
+
+pub use diff::{diff_spec, DiffConfig, DiffReport, Divergence, Verdict};
+pub use explore::{explore, oracle_gpu_config, ExploreConfig, OracleRace, OracleReport};
+pub use observer::{ObservedAccess, Observer};
+pub use shrink::shrink_spec;
+pub use spec::{KernelSpec, Op, Placement, NUM_SLOTS};

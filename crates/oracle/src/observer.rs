@@ -1,0 +1,82 @@
+//! A minimal hook recording the dynamic global-memory access sequence.
+//!
+//! The oracle attaches this directly to the GPU (no NVBit layer, no
+//! detector): ground truth needs the *order of accesses*, nothing else.
+//! Scheduling decisions never depend on attached hooks — hooks only charge
+//! the clock — so a schedule trace recorded under the observer replays
+//! identically under `Instrumented<Iguard>` or any other tool.
+
+use gpu_sim::hook::{AccessKind, Hook, MemAccess};
+use gpu_sim::ir::{Scope, Space};
+use gpu_sim::timing::Clock;
+
+/// One dynamic global-memory access by one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedAccess {
+    pub block: u32,
+    pub tid_in_block: u32,
+    /// Byte address of the accessed word.
+    pub addr: u32,
+    pub pc: usize,
+    pub is_write: bool,
+    pub is_atomic: bool,
+    /// Atomic scope, when the access is an atomic.
+    pub scope: Option<Scope>,
+    /// Scheduler step of the access (equal steps ⇒ same warp split ⇒
+    /// simultaneous execution).
+    pub step: u64,
+}
+
+/// Records every global access of a launch in execution order.
+#[derive(Debug, Default)]
+pub struct Observer {
+    pub events: Vec<ObservedAccess>,
+}
+
+impl Observer {
+    /// FNV-1a digest over the event stream: a cheap determinism witness
+    /// for replay tests.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for e in &self.events {
+            eat(u64::from(e.block));
+            eat(u64::from(e.tid_in_block));
+            eat(u64::from(e.addr));
+            eat(e.pc as u64);
+            eat(u64::from(e.is_write) | (u64::from(e.is_atomic) << 1));
+        }
+        h
+    }
+}
+
+impl Hook for Observer {
+    fn on_mem_access(&mut self, access: &MemAccess<'_>, _clock: &mut Clock) {
+        if access.space != Space::Global {
+            return;
+        }
+        let (is_write, is_atomic, scope) = match access.kind {
+            AccessKind::Load => (false, false, None),
+            AccessKind::Store => (true, false, None),
+            AccessKind::Atomic { scope, .. } => (true, true, Some(scope)),
+        };
+        for lane in access.lanes {
+            self.events.push(ObservedAccess {
+                block: access.block_id,
+                tid_in_block: lane.tid_in_block,
+                addr: lane.addr,
+                pc: access.pc,
+                is_write,
+                is_atomic,
+                scope,
+                step: access.step,
+            });
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Greedy spec shrinking: find a minimal kernel that still diverges.
+//!
+//! A campaign failure is only useful if a human can stare at it, so before
+//! a divergent spec enters the corpus it is shrunk: repeatedly delete one
+//! op from one actor and keep the deletion whenever the caller's predicate
+//! (typically "still has an unexplained divergence") holds. The loop runs
+//! to a fixpoint, so the result is 1-minimal: removing any single remaining
+//! op changes the verdict.
+
+use crate::spec::KernelSpec;
+
+/// Shrinks `spec` while `still_interesting` holds. The predicate is only
+/// ever called on candidates with at least one op left per actor, and the
+/// returned spec always satisfies it (assuming the input does).
+pub fn shrink_spec<F>(spec: &KernelSpec, mut still_interesting: F) -> KernelSpec
+where
+    F: FnMut(&KernelSpec) -> bool,
+{
+    let mut best = spec.clone();
+    loop {
+        let mut improved = false;
+        'outer: for actor in 0..2 {
+            for i in 0..best.actors[actor].len() {
+                if best.actors[actor].len() == 1 {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.actors[actor].remove(i);
+                if still_interesting(&cand) {
+                    best = cand;
+                    improved = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Op, Placement};
+
+    fn spec(a0: Vec<Op>, a1: Vec<Op>) -> KernelSpec {
+        KernelSpec {
+            placement: Placement::CrossBlock,
+            actors: [a0, a1],
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_interesting_core() {
+        // "Interesting" = both actors still touch slot 0.
+        let touches = |s: &KernelSpec| {
+            s.actors.iter().all(|a| {
+                a.iter()
+                    .any(|op| matches!(op, Op::Store { slot: 0 } | Op::Load { slot: 0 }))
+            })
+        };
+        let fat = spec(
+            vec![
+                Op::Load { slot: 1 },
+                Op::Store { slot: 0 },
+                Op::Load { slot: 2 },
+            ],
+            vec![Op::Store { slot: 3 }, Op::Load { slot: 0 }],
+        );
+        assert!(touches(&fat));
+        let thin = shrink_spec(&fat, touches);
+        assert_eq!(thin.actors[0], vec![Op::Store { slot: 0 }]);
+        assert_eq!(thin.actors[1], vec![Op::Load { slot: 0 }]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let pred = |s: &KernelSpec| s.actors[0].len() + s.actors[1].len() >= 3;
+        let fat = spec(
+            vec![Op::Load { slot: 0 }; 4],
+            vec![Op::Store { slot: 1 }; 3],
+        );
+        let thin = shrink_spec(&fat, pred);
+        assert_eq!(thin.actors[0].len() + thin.actors[1].len(), 3);
+        // Every single-op deletion falls below the predicate.
+        for actor in 0..2 {
+            for i in 0..thin.actors[actor].len() {
+                if thin.actors[actor].len() == 1 {
+                    continue;
+                }
+                let mut cand = thin.clone();
+                cand.actors[actor].remove(i);
+                assert!(!pred(&cand));
+            }
+        }
+    }
+
+    #[test]
+    fn never_empties_an_actor() {
+        let always = |_: &KernelSpec| true;
+        let thin = shrink_spec(&spec(vec![Op::Load { slot: 0 }; 3], vec![Op::Store { slot: 0 }]), always);
+        assert_eq!(thin.actors[0].len(), 1);
+        assert_eq!(thin.actors[1].len(), 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! The generated-kernel family the oracle can reason about exhaustively.
+//!
+//! A [`KernelSpec`] describes a tiny two-actor kernel: two threads, each
+//! running its own straight-line *region* of global-memory operations over
+//! a small shared slot pool, dispatched by a short branch prologue. The
+//! family is deliberately narrow so that three properties hold:
+//!
+//! 1. **No passenger lanes.** Every thread of the launch is an actor
+//!    ([`Placement::SameWarp`] uses `grid=1, block=2`;
+//!    [`Placement::CrossBlock`] uses `grid=2, block=1`), so the schedule
+//!    space is exactly the interleavings of the two actors' instruction
+//!    sequences — small enough to enumerate exhaustively. A 33-thread
+//!    cross-warp layout would drag 31 exiting lanes through the space and
+//!    blow it up by orders of magnitude.
+//! 2. **Schedule-independent control flow.** Branches depend only on
+//!    `tid`/`blockIdx`, never on loaded data, so the k-th dynamic access
+//!    of a thread is the *same static operation* in every schedule —
+//!    which is what lets the oracle identify access instances across
+//!    schedules and decide race-ness by order variance.
+//! 3. **Single-lane memory operations.** All global accesses happen
+//!    inside per-actor regions, after divergence, so coalescing and
+//!    same-split simultaneity never muddy the observed order.
+
+use gpu_sim::ir::Scope;
+use gpu_sim::kernel::Kernel;
+use gpu_sim::prelude::{KernelBuilder, Special};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Number of 4-byte slots in the shared address pool.
+pub const NUM_SLOTS: u8 = 4;
+
+/// Where the two actors live relative to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Both actors are lanes 0 and 1 of the same warp (`grid=1, block=2`);
+    /// races here are intra-warp ITS races, the paper's headline class.
+    SameWarp,
+    /// Actors are the sole threads of two different blocks
+    /// (`grid=2, block=1`); races here are inter-block (DR) or
+    /// insufficient-atomic-scope (AS) races.
+    CrossBlock,
+}
+
+/// One operation of an actor's region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Plain global load of a slot.
+    Load { slot: u8 },
+    /// Plain global store to a slot.
+    Store { slot: u8 },
+    /// `atomicAdd` on a slot with the given scope.
+    AtomicAdd { slot: u8, scope: Scope },
+    /// `__syncwarp()` (meaningful under [`Placement::SameWarp`] only).
+    SyncWarp,
+    /// `__syncthreads()` (meaningful under [`Placement::SameWarp`] only —
+    /// a one-thread block releases its own barrier instantly).
+    SyncThreads,
+    /// `__threadfence[_block]()`.
+    Fence { scope: Scope },
+}
+
+impl Op {
+    fn token(self) -> String {
+        match self {
+            Op::Load { slot } => format!("L{slot}"),
+            Op::Store { slot } => format!("S{slot}"),
+            Op::AtomicAdd {
+                slot,
+                scope: Scope::Block,
+            } => format!("aB{slot}"),
+            Op::AtomicAdd {
+                slot,
+                scope: Scope::Device,
+            } => format!("aD{slot}"),
+            Op::SyncWarp => "w".into(),
+            Op::SyncThreads => "t".into(),
+            Op::Fence {
+                scope: Scope::Block,
+            } => "fB".into(),
+            Op::Fence {
+                scope: Scope::Device,
+            } => "fD".into(),
+        }
+    }
+
+    fn parse(tok: &str) -> Result<Op, String> {
+        let slot_of = |s: &str| -> Result<u8, String> {
+            let n: u8 = s.parse().map_err(|e| format!("bad slot in {tok:?}: {e}"))?;
+            if n >= NUM_SLOTS {
+                return Err(format!("slot {n} out of range in {tok:?}"));
+            }
+            Ok(n)
+        };
+        match tok {
+            "w" => Ok(Op::SyncWarp),
+            "t" => Ok(Op::SyncThreads),
+            "fB" => Ok(Op::Fence {
+                scope: Scope::Block,
+            }),
+            "fD" => Ok(Op::Fence {
+                scope: Scope::Device,
+            }),
+            _ if tok.starts_with("aB") => Ok(Op::AtomicAdd {
+                slot: slot_of(&tok[2..])?,
+                scope: Scope::Block,
+            }),
+            _ if tok.starts_with("aD") => Ok(Op::AtomicAdd {
+                slot: slot_of(&tok[2..])?,
+                scope: Scope::Device,
+            }),
+            _ if tok.starts_with('L') => Ok(Op::Load {
+                slot: slot_of(&tok[1..])?,
+            }),
+            _ if tok.starts_with('S') => Ok(Op::Store {
+                slot: slot_of(&tok[1..])?,
+            }),
+            _ => Err(format!("unknown op token {tok:?}")),
+        }
+    }
+
+    /// Whether this op touches global memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, Op::Load { .. } | Op::Store { .. } | Op::AtomicAdd { .. })
+    }
+}
+
+/// A tiny two-actor kernel, fully describing what the oracle explores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSpec {
+    pub placement: Placement,
+    /// The two actors' operation regions.
+    pub actors: [Vec<Op>; 2],
+}
+
+impl KernelSpec {
+    /// `(grid_dim, block_dim)` of the launch this spec describes.
+    #[must_use]
+    pub fn grid_block(&self) -> (u32, u32) {
+        match self.placement {
+            Placement::SameWarp => (1, 2),
+            Placement::CrossBlock => (2, 1),
+        }
+    }
+
+    /// Whether any actor contains a fence (iGUARD's fence checks are a
+    /// release-side approximation inherited from ScoRD, so fence kernels
+    /// can produce *explained* detector divergences).
+    #[must_use]
+    pub fn has_fence(&self) -> bool {
+        self.actors
+            .iter()
+            .any(|a| a.iter().any(|o| matches!(o, Op::Fence { .. })))
+    }
+
+    /// Serializes to the versioned single-line corpus form, e.g.
+    /// `v1;SW;S0.w.L1/L0.w.S1`.
+    #[must_use]
+    pub fn to_compact_string(&self) -> String {
+        let place = match self.placement {
+            Placement::SameWarp => "SW",
+            Placement::CrossBlock => "CB",
+        };
+        let actor = |ops: &[Op]| {
+            ops.iter()
+                .map(|o| o.token())
+                .collect::<Vec<_>>()
+                .join(".")
+        };
+        format!(
+            "v1;{place};{}/{}",
+            actor(&self.actors[0]),
+            actor(&self.actors[1])
+        )
+    }
+
+    /// Parses the form produced by [`KernelSpec::to_compact_string`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let rest = s
+            .strip_prefix("v1;")
+            .ok_or_else(|| format!("unknown spec version in {s:?}"))?;
+        let (place, body) = rest
+            .split_once(';')
+            .ok_or_else(|| format!("bad spec header in {s:?}"))?;
+        let placement = match place {
+            "SW" => Placement::SameWarp,
+            "CB" => Placement::CrossBlock,
+            _ => return Err(format!("unknown placement {place:?} in {s:?}")),
+        };
+        let (a0, a1) = body
+            .split_once('/')
+            .ok_or_else(|| format!("missing actor separator in {s:?}"))?;
+        let parse_actor = |part: &str| -> Result<Vec<Op>, String> {
+            if part.is_empty() {
+                return Ok(Vec::new());
+            }
+            part.split('.').map(Op::parse).collect()
+        };
+        Ok(KernelSpec {
+            placement,
+            actors: [parse_actor(a0)?, parse_actor(a1)?],
+        })
+    }
+
+    /// Builds the kernel: a branch prologue dispatching on the actor id
+    /// (`tid` for same-warp, `blockIdx` for cross-block) into two
+    /// straight-line regions that each end in `exit`.
+    #[must_use]
+    pub fn build(&self) -> Kernel {
+        let mut b = KernelBuilder::new("oracle_gen");
+        let base = b.param(0);
+        let id = match self.placement {
+            Placement::SameWarp => b.special(Special::Tid),
+            Placement::CrossBlock => b.special(Special::BlockId),
+        };
+        let is0 = b.eq(id, 0u32);
+        let l1 = b.fwd_label();
+        b.bra_ifnot(is0, l1);
+        Self::emit_region(&mut b, base, &self.actors[0]);
+        b.bind(l1);
+        Self::emit_region(&mut b, base, &self.actors[1]);
+        b.build()
+    }
+
+    /// Instructions each actor executes, prologue included — the two
+    /// sequence lengths whose interleaving count is the schedule-space
+    /// size for passenger-free kernels (see the oracle completeness test).
+    #[must_use]
+    pub fn path_lengths(&self) -> (usize, usize) {
+        // Prologue: param, special, eq, bra_ifnot — executed by both.
+        let region = |ops: &[Op]| {
+            let needs_src = ops
+                .iter()
+                .any(|o| matches!(o, Op::Store { .. } | Op::AtomicAdd { .. }));
+            4 + usize::from(needs_src) + ops.len() + 1 // + exit
+        };
+        (region(&self.actors[0]), region(&self.actors[1]))
+    }
+
+    fn emit_region(b: &mut KernelBuilder, base: gpu_sim::ir::Reg, ops: &[Op]) {
+        let needs_src = ops
+            .iter()
+            .any(|o| matches!(o, Op::Store { .. } | Op::AtomicAdd { .. }));
+        let src = needs_src.then(|| b.imm(1));
+        for op in ops {
+            match *op {
+                Op::Load { slot } => {
+                    let _ = b.ld(base, i32::from(slot));
+                }
+                Op::Store { slot } => b.st(base, i32::from(slot), src.unwrap()),
+                Op::AtomicAdd { slot, scope } => {
+                    let _ = b.atomic_add(scope, base, i32::from(slot), src.unwrap());
+                }
+                Op::SyncWarp => b.syncwarp(),
+                Op::SyncThreads => b.syncthreads(),
+                Op::Fence { scope } => b.membar(scope),
+            }
+        }
+        b.exit();
+    }
+
+    /// Draws a random spec. Operation mix: mostly plain loads/stores with
+    /// occasional scoped atomics and (rarely) fences; same-warp kernels
+    /// get an aligned barrier pair inserted about half the time, which is
+    /// what produces genuinely clean synchronized kernels.
+    #[must_use]
+    pub fn random(rng: &mut SmallRng) -> Self {
+        let placement = if rng.random_bool(0.5) {
+            Placement::SameWarp
+        } else {
+            Placement::CrossBlock
+        };
+        let mut actors: [Vec<Op>; 2] = [Vec::new(), Vec::new()];
+        for actor in &mut actors {
+            let k = rng.random_range(1usize..=3);
+            for _ in 0..k {
+                let slot = rng.random_range(0..NUM_SLOTS);
+                let roll = rng.random_range(0u32..100);
+                actor.push(match roll {
+                    0..=37 => Op::Load { slot },
+                    38..=75 => Op::Store { slot },
+                    76..=86 => Op::AtomicAdd {
+                        slot,
+                        scope: Scope::Block,
+                    },
+                    87..=94 => Op::AtomicAdd {
+                        slot,
+                        scope: Scope::Device,
+                    },
+                    _ => Op::Fence {
+                        scope: if roll >= 98 {
+                            Scope::Block
+                        } else {
+                            Scope::Device
+                        },
+                    },
+                });
+            }
+        }
+        let mut spec = KernelSpec { placement, actors };
+        if placement == Placement::SameWarp && rng.random_bool(0.5) {
+            // Insert an aligned barrier pair at the same gap in both
+            // actors so it actually orders the accesses around it.
+            let bar = if rng.random_bool(0.5) {
+                Op::SyncWarp
+            } else {
+                Op::SyncThreads
+            };
+            let max_gap = spec.actors[0].len().min(spec.actors[1].len());
+            let gap = rng.random_range(0..=max_gap);
+            spec.actors[0].insert(gap, bar);
+            spec.actors[1].insert(gap, bar);
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spec_roundtrips_through_compact_string() {
+        let spec = KernelSpec {
+            placement: Placement::SameWarp,
+            actors: [
+                vec![
+                    Op::Store { slot: 0 },
+                    Op::SyncWarp,
+                    Op::Load { slot: 1 },
+                    Op::Fence {
+                        scope: Scope::Device,
+                    },
+                ],
+                vec![
+                    Op::AtomicAdd {
+                        slot: 2,
+                        scope: Scope::Block,
+                    },
+                    Op::SyncThreads,
+                ],
+            ],
+        };
+        let s = spec.to_compact_string();
+        assert_eq!(s, "v1;SW;S0.w.L1.fD/aB2.t");
+        assert_eq!(KernelSpec::parse(&s).unwrap(), spec);
+
+        let empty = KernelSpec {
+            placement: Placement::CrossBlock,
+            actors: [vec![], vec![Op::Load { slot: 3 }]],
+        };
+        assert_eq!(
+            KernelSpec::parse(&empty.to_compact_string()).unwrap(),
+            empty
+        );
+        assert!(KernelSpec::parse("v2;SW;L0/L0").is_err());
+        assert!(KernelSpec::parse("v1;XX;L0/L0").is_err());
+        assert!(KernelSpec::parse("v1;SW;L9/L0").is_err());
+        assert!(KernelSpec::parse("v1;SW;L0").is_err());
+    }
+
+    #[test]
+    fn built_kernels_run_and_path_lengths_match() {
+        use gpu_sim::hook::NullHook;
+        use gpu_sim::machine::{Gpu, GpuConfig};
+        let spec = KernelSpec {
+            placement: Placement::CrossBlock,
+            actors: [
+                vec![Op::Store { slot: 0 }, Op::Load { slot: 1 }],
+                vec![Op::Load { slot: 0 }],
+            ],
+        };
+        let k = spec.build();
+        let mut gpu = Gpu::new(GpuConfig {
+            mem_words: 256,
+            num_sms: 2,
+            max_steps: 10_000,
+            ..GpuConfig::default()
+        });
+        let buf = gpu.alloc(usize::from(NUM_SLOTS)).unwrap();
+        let (grid, block) = spec.grid_block();
+        let stats = gpu.launch(&k, grid, block, &[buf], &mut NullHook).unwrap();
+        let (p0, p1) = spec.path_lengths();
+        // Every step executes one split; with one thread per block the
+        // total dynamic instruction count is exactly the two path lengths.
+        assert_eq!(stats.dyn_instrs as usize, p0 + p1);
+    }
+
+    #[test]
+    fn random_specs_are_well_formed() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let spec = KernelSpec::random(&mut rng);
+            let s = spec.to_compact_string();
+            assert_eq!(KernelSpec::parse(&s).unwrap(), spec);
+            assert!(spec.actors.iter().all(|a| !a.is_empty()));
+            // Barrier ops only appear under SameWarp (aligned insertion).
+            if spec.placement == Placement::CrossBlock {
+                assert!(!spec
+                    .actors
+                    .iter()
+                    .flatten()
+                    .any(|o| matches!(o, Op::SyncWarp | Op::SyncThreads)));
+            }
+        }
+    }
+}

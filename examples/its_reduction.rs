@@ -6,8 +6,11 @@
 //! schedule, fixed or not manifested.
 //!
 //! ```text
-//! cargo run --release --example its_reduction
+//! cargo run --release --example its_reduction [-- --seed S]
 //! ```
+//!
+//! `--seed S` shifts the 24-schedule ITS sweep to seeds `S..S+24`
+//! (default 0), for poking at other regions of the schedule space.
 
 use iguard_repro::gpu_sim::prelude::*;
 use iguard_repro::iguard::{Iguard, RaceKind};
@@ -76,19 +79,38 @@ fn run_once(kernel: &Kernel, mode: ExecMode, seed: u64) -> (u32, usize) {
     (gpu.read(buf, 0), its_races)
 }
 
+/// Parses `--seed S` from the process arguments (default `default`).
+fn seed_arg(default: u64) -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--seed requires a value");
+                std::process::exit(2);
+            });
+            return v.parse().unwrap_or_else(|_| {
+                eprintln!("--seed expects a number, got `{v}`");
+                std::process::exit(2);
+            });
+        }
+    }
+    default
+}
+
 fn main() {
+    let base = seed_arg(0);
     let racy = reduction_tail(false);
     let fixed = reduction_tail(true);
 
-    println!("input [1,2,3,4]; correct reduction = 10\n");
+    println!("input [1,2,3,4]; correct reduction = 10 (seeds {base}..{})\n", base + 24);
 
     println!("pre-Volta lockstep (the bug hides):");
-    let (sum, _) = run_once(&racy, ExecMode::Lockstep, 1);
+    let (sum, _) = run_once(&racy, ExecMode::Lockstep, base.wrapping_add(1));
     println!("  racy kernel  -> sum = {sum}");
 
     println!("\nVolta+ ITS across schedules:");
     let mut wrong = 0;
-    for seed in 0..24 {
+    for seed in base..base + 24 {
         let (sum, races) = run_once(&racy, ExecMode::Its, seed);
         if sum != 10 {
             wrong += 1;
@@ -101,7 +123,7 @@ fn main() {
     println!("  racy kernel  -> wrong result on {wrong}/24 schedules; iGUARD flags ALL 24");
 
     let mut all_right = true;
-    for seed in 0..24 {
+    for seed in base..base + 24 {
         let (sum, races) = run_once(&fixed, ExecMode::Its, seed);
         all_right &= sum == 10;
         assert_eq!(races, 0, "fixed kernel must be clean (seed {seed})");

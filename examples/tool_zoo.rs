@@ -4,8 +4,12 @@
 //! of the paper's Table 1.
 //!
 //! ```text
-//! cargo run --release --example tool_zoo
+//! cargo run --release --example tool_zoo [-- --seed S]
 //! ```
+//!
+//! `--seed S` picks the ITS schedule seed all detectors run under
+//! (default: the simulator's default seed). Detection is
+//! schedule-insensitive for these bugs, so the verdicts do not move.
 
 use iguard_repro::barracuda::{Barracuda, BinaryKind, Curd};
 use iguard_repro::gpu_sim::prelude::*;
@@ -83,16 +87,35 @@ fn menagerie() -> Kernel {
     b.build()
 }
 
+/// Parses `--seed S` from the process arguments.
+fn gpu_config() -> GpuConfig {
+    let mut cfg = GpuConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--seed requires a value");
+                std::process::exit(2);
+            });
+            cfg.seed = v.parse().unwrap_or_else(|_| {
+                eprintln!("--seed expects a number, got `{v}`");
+                std::process::exit(2);
+            });
+        }
+    }
+    cfg
+}
+
 fn main() {
     let k = menagerie();
     let run = |label: &str, races: usize, note: &str| {
         println!("{label:<24} {races:>2} race(s)   {note}");
     };
 
-    println!("one kernel, every detector (grid 4x64):\n");
+    println!("one kernel, every detector (grid 4x64, seed {}):\n", gpu_config().seed);
 
     // iGUARD.
-    let mut gpu = Gpu::new(GpuConfig::default());
+    let mut gpu = Gpu::new(gpu_config());
     let buf = gpu.alloc(32).unwrap();
     let mut ig = Instrumented::new(Iguard::default());
     gpu.launch(&k, 4, 64, &[buf], &mut ig).unwrap();
@@ -103,7 +126,7 @@ fn main() {
     }
 
     // ScoRD-like (no ITS).
-    let mut gpu = Gpu::new(GpuConfig::default());
+    let mut gpu = Gpu::new(gpu_config());
     let buf = gpu.alloc(32).unwrap();
     let mut sc = Instrumented::new(Iguard::new(IguardConfig::scord_like()));
     gpu.launch(&k, 4, 64, &[buf], &mut sc).unwrap();
@@ -129,7 +152,7 @@ fn main() {
     let _ = Barracuda::default();
 
     // The scratchpad extension sees the one bug iGUARD scopes out.
-    let mut gpu = Gpu::new(GpuConfig::default());
+    let mut gpu = Gpu::new(gpu_config());
     let buf = gpu.alloc(32).unwrap();
     let mut sp = Instrumented::new(ScratchpadGuard::new());
     gpu.launch(&k, 4, 64, &[buf], &mut sp).unwrap();

@@ -8,7 +8,9 @@
 //! - [`uvm_sim`] — unified-virtual-memory (demand paging) simulation;
 //! - [`iguard`] — the paper's contribution: the in-GPU race detector;
 //! - [`barracuda`] — the CPU-side baseline detector;
-//! - [`workloads`] — the 40+ workloads of the paper's evaluation.
+//! - [`workloads`] — the 40+ workloads of the paper's evaluation;
+//! - [`oracle`] — schedule-space ground truth: bounded exhaustive ITS
+//!   enumeration and differential testing of the detectors.
 //!
 //! See `README.md` for a tour and `examples/quickstart.rs` for a minimal
 //! end-to-end detection run.
@@ -19,5 +21,6 @@ pub use barracuda;
 pub use gpu_sim;
 pub use iguard;
 pub use nvbit_sim;
+pub use oracle;
 pub use uvm_sim;
 pub use workloads;

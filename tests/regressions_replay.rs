@@ -1,0 +1,130 @@
+//! Deterministic replay of every historical regression:
+//!
+//! 1. the shrunk failure cases `proptest` recorded in
+//!    `tests/fuzz_test.proptest-regressions` (re-expressed here as
+//!    explicit kernels — proptest only replays them inside its own
+//!    harness, this test pins them unconditionally);
+//! 2. the oracle regression corpus `tests/corpus/oracle_v1.corpus`:
+//!    every pinned kernel's ground-truth verdict, witness schedule
+//!    replay, and iGUARD verdict must still hold.
+//!
+//! Regenerate the corpus after a *deliberate* semantic change with:
+//!
+//! ```text
+//! ORACLE_CORPUS_REGEN=1 cargo test --release --test regressions_replay
+//! ```
+
+use iguard_repro::gpu_sim::machine::{Gpu, GpuConfig};
+use iguard_repro::gpu_sim::prelude::*;
+use iguard_repro::iguard::Iguard;
+use iguard_repro::nvbit_sim::Instrumented;
+use iguard_repro::oracle::corpus;
+use iguard_repro::oracle::diff::DiffConfig;
+use iguard_repro::oracle::spec::KernelSpec;
+
+const CORPUS_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/corpus/oracle_v1.corpus"
+);
+
+/// The shrunk case from `fuzz_test.proptest-regressions`: two phases with
+/// `read_shift = 33`, the first gap unsynchronized, schedule seed 0. The
+/// generator marks it racy by construction; the detector must flag it on
+/// that exact schedule. (Mirrors `fuzz_test::build` for two phases.)
+#[test]
+fn proptest_regression_unsynced_double_buffer_is_flagged() {
+    const BLOCK: u32 = 64;
+    const READ_SHIFT: u32 = 33;
+    let mut b = KernelBuilder::new("regression_cc15c4");
+    let tid = b.special(Special::Tid);
+    let base = b.param(0);
+    for (i, synced) in [(0usize, true), (1usize, false)] {
+        if i > 0 && synced {
+            b.syncthreads();
+        }
+        let parity_base = (i % 2) as u32 * BLOCK;
+        let wcell = b.add(tid, parity_base);
+        let woff = b.mul(wcell, 4u32);
+        let wa = b.add(base, woff);
+        let v = b.add(tid, i as u32);
+        b.st(wa, 0, v);
+        if i > 0 {
+            let prev_base = ((i - 1) % 2) as u32 * BLOCK;
+            let t2 = b.add(tid, READ_SHIFT);
+            let rcell = b.rem(t2, BLOCK);
+            let shifted = b.add(rcell, prev_base);
+            let roff = b.mul(shifted, 4u32);
+            let ra = b.add(base, roff);
+            let _ = b.ld(ra, 0);
+        }
+    }
+    let kernel = b.build();
+
+    let mut gpu = Gpu::new(GpuConfig {
+        seed: 0,
+        ..GpuConfig::default()
+    });
+    let buf = gpu.alloc(2 * BLOCK as usize).unwrap();
+    let mut tool = Instrumented::new(Iguard::default());
+    gpu.launch(&kernel, 1, BLOCK, &[buf], &mut tool).unwrap();
+    assert!(
+        tool.tool().unique_races() > 0,
+        "historical regression no longer flagged"
+    );
+}
+
+/// The canonical kernels the corpus pins: one per verdict class the
+/// oracle distinguishes, plus the divergence classes the campaign found.
+fn corpus_specs() -> Vec<KernelSpec> {
+    [
+        "v1;CB;S0/L0",       // cross-block store/load: DR race
+        "v1;CB;S3.L1/S3",    // cross-block store/store: DR race
+        "v1;SW;S1/L1",       // same-warp store/load: ITS race (Barracuda-blind)
+        "v1;SW;w.S0/w.L0",   // barrier *before* both accesses: still racy
+        "v1;SW;S0.w/w.L0",   // store before, load after __syncwarp: clean
+        "v1;SW;S0.t/t.L0",   // store before, load after __syncthreads: clean
+        "v1;CB;aB0/aB0",     // block-scope atomics across blocks: AS race
+        "v1;CB;aD0/aD0",     // device-scope atomics: synchronized, clean
+        "v1;CB;aD2/L2",      // benign atomic read (P6): clean, Barracuda FP class
+        "v1;CB;aB1/L1",      // insufficient-scope atomic vs load: AS race
+        "v1;SW;S0.fD/L0",    // fence does not order plain accesses: racy
+        "v1;SW;L0/L0",       // load/load: no conflict
+        "v1;CB;L0.S1/L0.S2", // shared read, disjoint writes: clean
+    ]
+    .iter()
+    .map(|s| KernelSpec::parse(s).expect("corpus spec parses"))
+    .collect()
+}
+
+#[test]
+fn oracle_corpus_replays_deterministically() {
+    let cfg = DiffConfig::default();
+
+    if std::env::var_os("ORACLE_CORPUS_REGEN").is_some() {
+        let entries: Vec<_> = corpus_specs()
+            .iter()
+            .map(|s| corpus::entry_for(s, &cfg))
+            .collect();
+        std::fs::create_dir_all(std::path::Path::new(CORPUS_PATH).parent().unwrap()).unwrap();
+        std::fs::write(CORPUS_PATH, corpus::format(&entries)).expect("write corpus");
+        eprintln!("corpus regenerated at {CORPUS_PATH} ({} entries)", entries.len());
+        return;
+    }
+
+    let text = std::fs::read_to_string(CORPUS_PATH)
+        .expect("corpus missing; regenerate with ORACLE_CORPUS_REGEN=1");
+    let entries = corpus::parse(&text).expect("corpus parses");
+    assert!(
+        entries.len() >= corpus_specs().len(),
+        "corpus lost entries: {} < {}",
+        entries.len(),
+        corpus_specs().len()
+    );
+    let mut failures = Vec::new();
+    for e in &entries {
+        if let Err(msg) = corpus::verify(e, &cfg) {
+            failures.push(msg);
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
