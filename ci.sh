@@ -6,15 +6,21 @@
 # With --fuzz, additionally runs a time-boxed differential fuzz campaign
 # (generated kernels vs the schedule-space oracle vs both detectors); any
 # unexplained divergence fails the gate.
+# With --chaos, additionally runs the fault-injection smoke: seeded chaos
+# campaigns with every fault site armed (zero panics, every degradation
+# accounted, clean mid-campaign checkpoint resume) plus the
+# accuracy-under-pressure sweep (missed-check accounting).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 QUICK=0
 FUZZ=0
+CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
     --fuzz) FUZZ=1 ;;
+    --chaos) CHAOS=1 ;;
     *) echo "ci.sh: unknown flag $arg" >&2; exit 2 ;;
   esac
 done
@@ -39,6 +45,16 @@ if [[ "$FUZZ" -eq 1 ]]; then
   # Unlimited kernel stream, hard 45 s budget: stays under a minute while
   # covering as many kernels as the machine manages.
   cargo run --release -p bench --bin fuzz -- --kernels 0 --budget 45 --seed 42 --no-progress
+fi
+
+if [[ "$CHAOS" -eq 1 ]]; then
+  echo "== chaos smoke (--chaos) =="
+  # 5 seeded campaigns, all 9 fault sites armed at ~1.6%: no panics, every
+  # injected fault traceable to a counter, checkpoint resume byte-exact.
+  cargo run --release -p bench --bin chaos -- --campaigns 5 --seed 42 --no-progress
+  echo "== pressure sweep (--chaos) =="
+  # Exits non-zero if any missed check is unaccounted.
+  cargo run --release -p bench --bin pressure -- --no-progress
 fi
 
 echo "CI OK"

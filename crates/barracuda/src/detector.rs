@@ -105,11 +105,12 @@ impl Barracuda {
         // Per-record shipping cost is charged explicitly in `record()`;
         // the channel itself only charges forced flushes.
         let channel = HostChannel::new(
-            cfg.channel_capacity,
+            cfg.channel_capacity.max(1),
             0,
             cfg.flush_cost,
             CostCategory::Detection,
-        );
+        )
+        .expect("capacity clamped to >= 1");
         Barracuda {
             cfg,
             channel,

@@ -193,9 +193,15 @@ fn hot_word_kernel(rounds: u32) -> Kernel {
 /// through `MetadataTable` (mask/shift slot indexing, epoch
 /// invalidation), including indices past the table so tags alias.
 fn bench_metadata_table_slots(c: &mut Criterion) {
-    use iguard::metadata::MetadataTable;
+    use iguard::metadata::{MetadataTable, TableConfig};
     let uvm = IguardConfig::default().uvm;
-    let mut table = MetadataTable::new(1 << 12, uvm, 1 << 26, 1 << 26, 1);
+    let mut table = MetadataTable::new(TableConfig {
+        uvm,
+        virtual_bytes: 1 << 26,
+        device_budget_bytes: 1 << 26,
+        ..TableConfig::covering(1 << 12)
+    })
+    .unwrap();
     let entry = MetadataEntry {
         tag: 0,
         flags: Flags {

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! fuzz [--kernels N] [--budget SECS] [--seed S] [--corpus PATH] [--spec STR]
+//!      [--checkpoint PATH] [--resume PATH]
 //!      [--jobs N] [--serial] [--timeout-secs N] [--no-progress]
 //! ```
 //!
@@ -12,6 +13,12 @@
 //! - `--seed S`     campaign seed for the kernel generator (default 42).
 //! - `--corpus P`   append shrunk unexplained divergences to corpus file P.
 //! - `--spec STR`   run a single compact spec instead of a campaign.
+//! - `--checkpoint P`  snapshot campaign progress to P after every batch.
+//! - `--resume P`   continue an interrupted campaign from checkpoint P
+//!   (restores the seed, stream position, and every counter; keeps
+//!   checkpointing to the same file). The kernel stream is a pure
+//!   function of the campaign seed, so a resumed campaign produces
+//!   exactly the results the uninterrupted one would have.
 //!
 //! Exit code 1 on any unexplained oracle/detector divergence (after
 //! shrinking it to a minimal repro), 0 otherwise.
@@ -19,6 +26,7 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use bench::campaign::Checkpoint;
 use bench::{run_jobs, DriverConfig, Job, Outcome};
 use oracle::corpus;
 use oracle::diff::{diff_spec, generate_specs, DiffConfig, DiffReport};
@@ -33,6 +41,8 @@ struct Args {
     seed: u64,
     corpus_path: Option<String>,
     spec: Option<String>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
 }
 
 fn parse_args(rest: Vec<String>) -> Args {
@@ -42,6 +52,8 @@ fn parse_args(rest: Vec<String>) -> Args {
         seed: 42,
         corpus_path: None,
         spec: None,
+        checkpoint: None,
+        resume: None,
     };
     let mut it = rest.into_iter();
     while let Some(a) = it.next() {
@@ -73,6 +85,8 @@ fn parse_args(rest: Vec<String>) -> Args {
             }
             "--corpus" => args.corpus_path = Some(value("--corpus")),
             "--spec" => args.spec = Some(value("--spec")),
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")),
+            "--resume" => args.resume = Some(value("--resume")),
             other => {
                 eprintln!("unknown flag `{other}`");
                 std::process::exit(2);
@@ -104,22 +118,59 @@ fn main() {
 
     let started = Instant::now();
     let mut stream_seed = args.seed;
+    let mut kernels_target = args.kernels;
     let mut done = 0usize;
     let mut racy = 0usize;
-    let mut explained: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut explained: BTreeMap<String, usize> = BTreeMap::new();
     let mut unexplained: Vec<DiffReport> = Vec::new();
     let mut dnf = 0usize;
 
-    while args.kernels == 0 || done < args.kernels {
+    // Resume: restore the stream cursor and every aggregate from the
+    // checkpoint; keep saving to the same file unless --checkpoint
+    // pointed elsewhere.
+    let ckpt_path = args.checkpoint.clone().or_else(|| args.resume.clone());
+    if let Some(path) = &args.resume {
+        let ck = Checkpoint::load(path).unwrap_or_else(|e| {
+            eprintln!("--resume: {e}");
+            std::process::exit(2);
+        });
+        stream_seed = ck.meta_as("stream_seed").unwrap_or(stream_seed);
+        kernels_target = ck.meta_as("kernels").unwrap_or(kernels_target);
+        done = ck.meta_as("done").unwrap_or(0);
+        racy = ck.meta_as("racy").unwrap_or(0);
+        dnf = ck.meta_as("dnf").unwrap_or(0);
+        for (k, v) in &ck.meta {
+            if let Some(reason) = k.strip_prefix("explained:") {
+                explained.insert(reason.to_string(), v.parse().unwrap_or(0));
+            }
+        }
+        // Stored unexplained specs are deterministic; re-diff to rebuild
+        // their full reports for the final shrink/corpus stage.
+        for (kind, spec_str) in &ck.rows {
+            if kind != "unexplained" {
+                continue;
+            }
+            match KernelSpec::parse(spec_str) {
+                Ok(spec) => unexplained.push(diff_spec(&spec, &cfg)),
+                Err(e) => eprintln!("checkpointed spec `{spec_str}` unreadable: {e}"),
+            }
+        }
+        eprintln!(
+            "resumed campaign seed={} at kernel {done} (stream seed {stream_seed:#x})",
+            ck.meta_as::<u64>("seed").unwrap_or(args.seed)
+        );
+    }
+
+    while kernels_target == 0 || done < kernels_target {
         if let Some(b) = args.budget {
             if started.elapsed() >= b {
                 break;
             }
         }
-        let batch = if args.kernels == 0 {
+        let batch = if kernels_target == 0 {
             BATCH
         } else {
-            BATCH.min(args.kernels - done)
+            BATCH.min(kernels_target - done)
         };
         // A fresh generator seed per batch keeps the stream deterministic
         // for a given campaign seed regardless of batch boundaries.
@@ -139,7 +190,7 @@ fn main() {
                     racy += usize::from(value.oracle.racy);
                     for d in &value.divergences {
                         if let Some(reason) = d.explanation {
-                            *explained.entry(reason).or_insert(0) += 1;
+                            *explained.entry(reason.to_string()).or_insert(0) += 1;
                         }
                     }
                     if !value.unexplained().is_empty() {
@@ -151,8 +202,35 @@ fn main() {
                     dnf += 1;
                 }
                 Outcome::TimedOut { .. } => dnf += 1,
+                Outcome::Faulted { message, .. } => {
+                    // The differential harness runs no fault plane; an
+                    // injected-fault death here is as fatal as a panic.
+                    eprintln!("fuzz job faulted: {message}");
+                    dnf += 1;
+                }
             }
             done += 1;
+        }
+
+        // Batch boundary: snapshot the stream cursor and aggregates so an
+        // interrupted campaign resumes without repeating finished work.
+        if let Some(path) = &ckpt_path {
+            let mut ck = Checkpoint::new();
+            ck.set_meta("seed", args.seed);
+            ck.set_meta("kernels", kernels_target);
+            ck.set_meta("stream_seed", stream_seed);
+            ck.set_meta("done", done);
+            ck.set_meta("racy", racy);
+            ck.set_meta("dnf", dnf);
+            for (reason, n) in &explained {
+                ck.set_meta(&format!("explained:{reason}"), n);
+            }
+            for r in &unexplained {
+                ck.push_row("unexplained", r.spec.to_compact_string());
+            }
+            if let Err(e) = ck.save(path) {
+                eprintln!("cannot write checkpoint {path}: {e}");
+            }
         }
     }
 

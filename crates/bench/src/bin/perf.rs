@@ -156,6 +156,10 @@ fn run_sweep(
                 );
                 std::process::exit(1);
             }
+            Outcome::Faulted { message, .. } => {
+                eprintln!("perf: job `{}` hit an injected fault: {message}", set[i].0.name);
+                std::process::exit(1);
+            }
         })
         .collect()
 }

@@ -1,0 +1,166 @@
+//! Mid-campaign checkpointing for long-running sweeps.
+//!
+//! A campaign (differential fuzzing, chaos testing) is a deterministic
+//! sequence of independent units of work. A [`Checkpoint`] snapshots the
+//! campaign's cursor — arbitrary `meta` key/values naming where the
+//! stream stands — plus one `row` per completed unit, in completion
+//! order. Because the unit stream is a pure function of the campaign
+//! seed, reloading a checkpoint and continuing from its cursor
+//! reproduces exactly the results an uninterrupted campaign would have
+//! produced; the chaos smoke (`bench --bin chaos`) asserts this
+//! byte-for-byte.
+//!
+//! The on-disk format is line-oriented, human-readable text:
+//!
+//! ```text
+//! # bench campaign checkpoint v1
+//! meta<TAB>seed<TAB>42
+//! meta<TAB>done<TAB>64
+//! row<TAB><label><TAB><value>
+//! ```
+//!
+//! Tabs separate fields, so labels and values may contain spaces (but
+//! not tabs or newlines).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Magic first line; bumping the version invalidates stale checkpoints.
+const HEADER: &str = "# bench campaign checkpoint v1";
+
+/// A resumable snapshot of campaign progress.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Campaign cursor: seed, stream position, aggregate counters.
+    pub meta: BTreeMap<String, String>,
+    /// One `(label, value)` per completed unit, in completion order.
+    pub rows: Vec<(String, String)>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint.
+    #[must_use]
+    pub fn new() -> Self {
+        Checkpoint::default()
+    }
+
+    /// Sets a cursor field (stringified).
+    pub fn set_meta(&mut self, key: &str, value: impl ToString) {
+        self.meta.insert(key.to_string(), value.to_string());
+    }
+
+    /// Reads a cursor field parsed as `T`, `None` if absent or malformed.
+    #[must_use]
+    pub fn meta_as<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.meta.get(key).and_then(|v| v.parse().ok())
+    }
+
+    /// Appends a completed unit.
+    pub fn push_row(&mut self, label: impl Into<String>, value: impl Into<String>) {
+        self.rows.push((label.into(), value.into()));
+    }
+
+    /// Serializes to the text format.
+    #[must_use]
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "meta\t{k}\t{v}");
+        }
+        for (label, value) in &self.rows {
+            let _ = writeln!(out, "row\t{label}\t{value}");
+        }
+        out
+    }
+
+    /// Parses the text format, rejecting unknown versions and malformed
+    /// lines (a truncated checkpoint must not silently resume).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h == HEADER => {}
+            Some(h) => return Err(format!("unsupported checkpoint header `{h}`")),
+            None => return Err("empty checkpoint".into()),
+        }
+        let mut ck = Checkpoint::new();
+        for (no, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let kind = parts.next().unwrap_or("");
+            let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+                return Err(format!("line {}: expected 3 tab-separated fields", no + 2));
+            };
+            match kind {
+                "meta" => {
+                    ck.meta.insert(a.to_string(), b.to_string());
+                }
+                "row" => ck.rows.push((a.to_string(), b.to_string())),
+                other => return Err(format!("line {}: unknown record `{other}`", no + 2)),
+            }
+        }
+        Ok(ck)
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename),
+    /// so an interrupt mid-write cannot corrupt a resumable state.
+    pub fn save(&self, path: &str) -> std::io::Result<()> {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, self.format())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads and parses a checkpoint from `path`.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Checkpoint::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_meta_and_rows() {
+        let mut ck = Checkpoint::new();
+        ck.set_meta("seed", 42u64);
+        ck.set_meta("stream_seed", 0xDEAD_BEEFu64);
+        ck.push_row("job a", "ok sites=2");
+        ck.push_row("job b", "DNF(fault)");
+        let parsed = Checkpoint::parse(&ck.format()).unwrap();
+        assert_eq!(parsed, ck);
+        assert_eq!(parsed.meta_as::<u64>("seed"), Some(42));
+    }
+
+    #[test]
+    fn labels_with_spaces_survive() {
+        let mut ck = Checkpoint::new();
+        ck.push_row("scor/append size=Test seed=7", "races=3 missed=0");
+        let parsed = Checkpoint::parse(&ck.format()).unwrap();
+        assert_eq!(parsed.rows[0].0, "scor/append size=Test seed=7");
+    }
+
+    #[test]
+    fn rejects_foreign_headers_and_truncated_lines() {
+        assert!(Checkpoint::parse("# something else\n").is_err());
+        assert!(Checkpoint::parse("").is_err());
+        let bad = format!("{HEADER}\nmeta\tonly-two-fields\n");
+        assert!(Checkpoint::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn save_and_load_through_disk() {
+        let mut ck = Checkpoint::new();
+        ck.set_meta("done", 7usize);
+        let path = std::env::temp_dir().join("bench-ckpt-test.txt");
+        let path = path.to_str().unwrap().to_string();
+        ck.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, ck);
+    }
+}

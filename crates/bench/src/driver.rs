@@ -41,16 +41,28 @@ pub struct DriverConfig {
     pub timeout: Option<Duration>,
     /// Emit live per-job progress/timing lines on stderr.
     pub progress: bool,
+    /// Re-run attempts granted to a DNF job (panic, deadline, or injected
+    /// fault) before its outcome is final. Only jobs built with
+    /// [`Job::retryable`](crate::job::Job::retryable) can be retried;
+    /// one-shot jobs keep their first outcome regardless.
+    pub retries: usize,
+    /// Delay before a DNF job's first retry; each further attempt doubles
+    /// it (exponential backoff).
+    pub retry_backoff: Duration,
 }
 
 impl Default for DriverConfig {
     /// Parallel across available cores, 120 s deadline, progress on —
-    /// the defaults the bench binaries run with.
+    /// the defaults the bench binaries run with. No retries: a DNF in a
+    /// deterministic sweep would fail identically again unless the job is
+    /// racing a deadline or an injected-fault schedule.
     fn default() -> Self {
         DriverConfig {
             jobs: available_jobs(),
             timeout: Some(Duration::from_secs(120)),
             progress: true,
+            retries: 0,
+            retry_backoff: Duration::from_millis(250),
         }
     }
 }
@@ -72,6 +84,8 @@ impl DriverConfig {
             jobs: 1,
             timeout: None,
             progress: false,
+            retries: 0,
+            retry_backoff: Duration::from_millis(250),
         }
     }
 
@@ -82,6 +96,8 @@ impl DriverConfig {
             jobs: n.max(1),
             timeout: None,
             progress: false,
+            retries: 0,
+            retry_backoff: Duration::from_millis(250),
         }
     }
 
@@ -89,7 +105,7 @@ impl DriverConfig {
     /// list, returning the remaining arguments for the binary's own
     /// parser. Recognized: `--jobs N` (0 ⇒ all cores), `--serial`
     /// (alias for `--jobs 1`), `--timeout-secs N` (0 ⇒ no deadline),
-    /// and `--no-progress`.
+    /// `--retries N`, `--retry-backoff-ms N`, and `--no-progress`.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> (Self, Vec<String>) {
         let mut cfg = DriverConfig::default();
         let mut rest = Vec::new();
@@ -104,6 +120,11 @@ impl DriverConfig {
                 "--timeout-secs" => {
                     let secs: u64 = numeric(&mut it, "--timeout-secs");
                     cfg.timeout = (secs > 0).then(|| Duration::from_secs(secs));
+                }
+                "--retries" => cfg.retries = numeric(&mut it, "--retries"),
+                "--retry-backoff-ms" => {
+                    let ms: u64 = numeric(&mut it, "--retry-backoff-ms");
+                    cfg.retry_backoff = Duration::from_millis(ms);
                 }
                 "--no-progress" => cfg.progress = false,
                 _ => rest.push(a),
@@ -132,6 +153,12 @@ fn numeric<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &s
     })
 }
 
+/// Substring that classifies a job failure as an injected fault rather
+/// than a genuine bug: `SimError::InjectedFault` renders as
+/// `"injected fault: <site>"`, so any panic whose message carries it was
+/// killed by the fault plane on purpose.
+pub const FAULT_MARKER: &str = "injected fault";
+
 /// What became of one job.
 #[derive(Debug)]
 pub enum Outcome<T> {
@@ -152,6 +179,15 @@ pub enum Outcome<T> {
     /// The job exceeded the per-job deadline and was abandoned.
     TimedOut {
         /// The configured deadline it exceeded.
+        elapsed: Duration,
+    },
+    /// The job was killed by a deliberately injected fault (its failure
+    /// message carried [`FAULT_MARKER`]) — expected under a chaos
+    /// campaign, alarming anywhere else.
+    Faulted {
+        /// The failure message naming the injected fault site.
+        message: String,
+        /// Wall-clock time until the fault fired.
         elapsed: Duration,
     },
 }
@@ -181,10 +217,16 @@ impl<T> Outcome<T> {
         !matches!(self, Outcome::Done { .. })
     }
 
-    /// Short cell text for DNF rows in tables (`"DNF"`), `None` if done.
+    /// Short cell text for DNF rows in tables, naming the cause
+    /// (`"DNF(panic)"`, `"DNF(timeout)"`, `"DNF(fault)"`); `None` if done.
     #[must_use]
     pub fn dnf_cell(&self) -> Option<&'static str> {
-        self.is_dnf().then_some("DNF")
+        match self {
+            Outcome::Done { .. } => None,
+            Outcome::Panicked { .. } => Some("DNF(panic)"),
+            Outcome::TimedOut { .. } => Some("DNF(timeout)"),
+            Outcome::Faulted { .. } => Some("DNF(fault)"),
+        }
     }
 }
 
@@ -210,6 +252,9 @@ pub fn run_jobs<T: Send + 'static>(jobs: Vec<Job<T>>, cfg: &DriverConfig) -> Vec
         return Vec::new();
     }
     let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+    // Rebuildable bodies for retryable jobs; `None` entries are one-shot
+    // and keep their first outcome regardless of `cfg.retries`.
+    let factories: Vec<_> = jobs.iter().map(Job::factory).collect();
 
     // Workers claim the lowest pending index, so with one worker
     // execution order equals submission order.
@@ -226,26 +271,38 @@ pub fn run_jobs<T: Send + 'static>(jobs: Vec<Job<T>>, cfg: &DriverConfig) -> Vec
 
     let started_at = Instant::now();
     let mut running: HashMap<usize, Instant> = HashMap::new();
+    // Retry attempts consumed per job, and jobs waiting out their backoff
+    // (re-enqueued once `Instant` passes).
+    let mut attempts: Vec<usize> = vec![0; total];
+    let mut retry_at: Vec<(Instant, usize)> = Vec::new();
     let mut done = 0usize;
     while done < total {
-        let msg = match cfg.timeout {
+        // Wake at the earliest of: a running job's deadline, a pending
+        // retry's backoff expiry. With neither, block on the channel.
+        let now = Instant::now();
+        let deadline_wake = cfg.timeout.and_then(|limit| {
+            running
+                .values()
+                .map(|s| (*s + limit).saturating_duration_since(now))
+                .min()
+        });
+        let retry_wake = retry_at
+            .iter()
+            .map(|(t, _)| t.saturating_duration_since(now))
+            .min();
+        let next_wake = match (deadline_wake, retry_wake) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let msg = match next_wake {
             None => Some(rx.recv().expect("supervisor holds a sender")),
-            Some(limit) => {
-                // Wake at the earliest running job's deadline.
-                let now = Instant::now();
-                let next_deadline = running
-                    .values()
-                    .map(|s| (*s + limit).saturating_duration_since(now))
-                    .min()
-                    .unwrap_or(limit);
-                match rx.recv_timeout(next_deadline.max(Duration::from_millis(1))) {
-                    Ok(m) => Some(m),
-                    Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        unreachable!("supervisor holds a sender")
-                    }
+            Some(wake) => match rx.recv_timeout(wake.max(Duration::from_millis(1))) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("supervisor holds a sender")
                 }
-            }
+            },
         };
 
         match msg {
@@ -261,8 +318,16 @@ pub fn run_jobs<T: Send + 'static>(jobs: Vec<Job<T>>, cfg: &DriverConfig) -> Vec
                 }
                 let outcome = match result {
                     Ok(value) => Outcome::Done { value, elapsed },
+                    Err(message) if message.contains(FAULT_MARKER) => {
+                        Outcome::Faulted { message, elapsed }
+                    }
                     Err(message) => Outcome::Panicked { message, elapsed },
                 };
+                if outcome.is_dnf()
+                    && schedule_retry(idx, cfg, &factories, &labels, &mut attempts, &mut retry_at)
+                {
+                    continue;
+                }
                 done += 1;
                 if cfg.progress {
                     progress_line(done, total, &labels[idx], &outcome, started_at);
@@ -270,24 +335,56 @@ pub fn run_jobs<T: Send + 'static>(jobs: Vec<Job<T>>, cfg: &DriverConfig) -> Vec
                 results[idx] = Some(outcome);
             }
             None => {
-                // Deadline sweep: declare every overdue job DNF and spawn
-                // replacement workers for their abandoned threads.
-                let limit = cfg.timeout.expect("timeout sweep implies a deadline");
                 let now = Instant::now();
-                let overdue: Vec<usize> = running
-                    .iter()
-                    .filter(|(_, s)| now.duration_since(**s) >= limit)
-                    .map(|(i, _)| *i)
-                    .collect();
-                for idx in overdue {
-                    running.remove(&idx);
-                    let outcome = Outcome::TimedOut { elapsed: limit };
-                    done += 1;
-                    if cfg.progress {
-                        progress_line(done, total, &labels[idx], &outcome, started_at);
+                // Deadline sweep: declare every overdue job DNF (or grant
+                // it a retry) and spawn replacement workers for their
+                // abandoned threads.
+                if let Some(limit) = cfg.timeout {
+                    let overdue: Vec<usize> = running
+                        .iter()
+                        .filter(|(_, s)| now.duration_since(**s) >= limit)
+                        .map(|(i, _)| *i)
+                        .collect();
+                    for idx in overdue {
+                        running.remove(&idx);
+                        spawn_worker(Arc::clone(&queue), tx.clone());
+                        if schedule_retry(
+                            idx,
+                            cfg,
+                            &factories,
+                            &labels,
+                            &mut attempts,
+                            &mut retry_at,
+                        ) {
+                            continue;
+                        }
+                        let outcome = Outcome::TimedOut { elapsed: limit };
+                        done += 1;
+                        if cfg.progress {
+                            progress_line(done, total, &labels[idx], &outcome, started_at);
+                        }
+                        results[idx] = Some(outcome);
                     }
-                    results[idx] = Some(outcome);
-                    spawn_worker(Arc::clone(&queue), tx.clone());
+                }
+                // Backoff sweep: re-enqueue every due retry. The original
+                // workers may have drained the queue and exited, so each
+                // re-enqueued job brings its own worker.
+                let mut i = 0;
+                while i < retry_at.len() {
+                    if retry_at[i].0 <= now {
+                        let (_, idx) = retry_at.swap_remove(i);
+                        let job = factories[idx]
+                            .as_ref()
+                            .map(|f| Job::from_factory(labels[idx].clone(), Arc::clone(f)))
+                            .expect("only retryable jobs are scheduled for retry");
+                        queue
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push_back((idx, job));
+                        spawn_worker(Arc::clone(&queue), tx.clone());
+                    } else {
+                        i += 1;
+                    }
                 }
             }
         }
@@ -298,6 +395,38 @@ pub fn run_jobs<T: Send + 'static>(jobs: Vec<Job<T>>, cfg: &DriverConfig) -> Vec
         .into_iter()
         .map(|r| r.expect("every submitted job resolved"))
         .collect()
+}
+
+/// Grants `idx` one more attempt if the configuration and the job allow
+/// it: bumps its attempt count and parks it until its exponential-backoff
+/// delay (`retry_backoff << (attempt-1)`) expires. Returns `false` when
+/// the job's outcome should be final.
+fn schedule_retry<F>(
+    idx: usize,
+    cfg: &DriverConfig,
+    factories: &[Option<F>],
+    labels: &[String],
+    attempts: &mut [usize],
+    retry_at: &mut Vec<(Instant, usize)>,
+) -> bool {
+    if attempts[idx] >= cfg.retries || factories[idx].is_none() {
+        return false;
+    }
+    attempts[idx] += 1;
+    let delay = cfg
+        .retry_backoff
+        .saturating_mul(1u32 << (attempts[idx] - 1).min(16));
+    if cfg.progress {
+        eprintln!(
+            "[retry {}/{}] {:<44} backing off {:.2}s",
+            attempts[idx],
+            cfg.retries,
+            labels[idx],
+            delay.as_secs_f64()
+        );
+    }
+    retry_at.push((Instant::now() + delay, idx));
+    true
 }
 
 /// Convenience: run every job serially on the calling configuration's
@@ -311,6 +440,7 @@ pub fn run_jobs_strict<T: Send + 'static>(jobs: Vec<Job<T>>, cfg: &DriverConfig)
             Outcome::Done { value, .. } => value,
             Outcome::Panicked { message, .. } => panic!("job {i} panicked: {message}"),
             Outcome::TimedOut { .. } => panic!("job {i} exceeded its deadline"),
+            Outcome::Faulted { message, .. } => panic!("job {i} hit an injected fault: {message}"),
         })
         .collect()
 }
@@ -355,5 +485,9 @@ fn progress_line<T>(done: usize, total: usize, label: &str, outcome: &Outcome<T>
             "[{done:>3}/{total}] {label:<44}       DNF   (deadline {:.0}s exceeded)",
             elapsed.as_secs_f64()
         ),
+        Outcome::Faulted { message, .. } => {
+            let first = message.lines().next().unwrap_or("");
+            eprintln!("[{done:>3}/{total}] {label:<44}       DNF   ({first})");
+        }
     }
 }

@@ -109,11 +109,15 @@ impl JobSpec {
         }
     }
 
-    /// Converts the spec into a driver job.
+    /// Converts the spec into a driver job. Specs are cheap to clone and
+    /// fully deterministic, so the job is retryable: under
+    /// `DriverConfig::retries` the driver can re-run it after a DNF
+    /// (useful when the DNF came from an injected-fault schedule or a
+    /// deadline, not a genuine bug).
     #[must_use]
     pub fn into_job(self) -> Job<RunOutput> {
         let label = self.label();
-        Job::custom(label, move || self.run())
+        Job::retryable(label, move || self.clone().run())
     }
 }
 
@@ -166,21 +170,66 @@ impl RunOutput {
 pub struct Job<T> {
     /// Identity shown in progress and DNF reporting.
     pub label: String,
-    run: Box<dyn FnOnce() -> T + Send + 'static>,
+    run: JobFn<T>,
+}
+
+/// A reusable job body, shared between the queued job and the driver's
+/// retry bookkeeping.
+pub(crate) type JobFactory<T> = std::sync::Arc<dyn Fn() -> T + Send + Sync + 'static>;
+
+enum JobFn<T> {
+    /// Consumed on first execution; cannot be retried.
+    Once(Box<dyn FnOnce() -> T + Send + 'static>),
+    /// Re-runnable body: the driver can rebuild the job after a DNF.
+    Retryable(JobFactory<T>),
 }
 
 impl<T> Job<T> {
-    /// Wraps an arbitrary closure as a job.
+    /// Wraps an arbitrary one-shot closure as a job.
     pub fn custom(label: impl Into<String>, run: impl FnOnce() -> T + Send + 'static) -> Self {
         Job {
             label: label.into(),
-            run: Box::new(run),
+            run: JobFn::Once(Box::new(run)),
+        }
+    }
+
+    /// Wraps a re-runnable closure as a job the driver may retry after a
+    /// DNF (panic, deadline, injected fault) when
+    /// `DriverConfig::retries > 0`. The closure must be deterministic or
+    /// at least idempotent: a retried run replaces the failed one
+    /// wholesale.
+    pub fn retryable(
+        label: impl Into<String>,
+        run: impl Fn() -> T + Send + Sync + 'static,
+    ) -> Self {
+        Job {
+            label: label.into(),
+            run: JobFn::Retryable(std::sync::Arc::new(run)),
+        }
+    }
+
+    /// The shared body, if this job is retryable.
+    pub(crate) fn factory(&self) -> Option<JobFactory<T>> {
+        match &self.run {
+            JobFn::Once(_) => None,
+            JobFn::Retryable(f) => Some(std::sync::Arc::clone(f)),
+        }
+    }
+
+    /// Rebuilds a queueable job from a previously captured factory.
+    pub(crate) fn from_factory(label: String, factory: JobFactory<T>) -> Self {
+        Job {
+            label,
+            run: JobFn::Retryable(factory),
         }
     }
 
     /// Executes the job on the calling thread.
     pub(crate) fn execute(self) -> T {
-        (self.run)()
+        match self.run {
+            JobFn::Once(f) => f(),
+            JobFn::Retryable(f) => f(),
+        }
     }
 }
 

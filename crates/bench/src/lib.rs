@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod driver;
 pub mod job;
 pub mod perfjson;
@@ -21,7 +22,7 @@ use iguard::{Iguard, IguardConfig, RaceSite};
 use nvbit_sim::Instrumented;
 use workloads::{Size, Workload};
 
-pub use driver::{available_jobs, run_jobs, run_jobs_strict, DriverConfig, Outcome};
+pub use driver::{available_jobs, run_jobs, run_jobs_strict, DriverConfig, Outcome, FAULT_MARKER};
 pub use job::{Job, JobSpec, RunOutput, ToolSpec};
 
 /// Default schedule seed used by every harness (deterministic results).
@@ -48,6 +49,8 @@ pub struct NativeRun {
     pub stats: LaunchStats,
     /// Whether the watchdog killed the run.
     pub timed_out: bool,
+    /// Launches killed by an injected fault (zero without a fault plane).
+    pub aborted_launches: u64,
 }
 
 /// Runs `w` natively with the evaluation GPU configuration for `seed`.
@@ -62,11 +65,13 @@ pub fn run_native_with(w: &Workload, size: Size, gcfg: GpuConfig) -> NativeRun {
     let mut gpu = Gpu::new(gcfg);
     let launches = w.build(&mut gpu, size);
     let mut timed_out = false;
+    let mut aborted_launches = 0u64;
     let mut stats = LaunchStats::default();
     for l in &launches {
         match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut NullHook) {
             Ok(s) => accumulate(&mut stats, &s),
             Err(gpu_sim::error::SimError::Timeout { .. }) => timed_out = true,
+            Err(gpu_sim::error::SimError::InjectedFault { .. }) => aborted_launches += 1,
             Err(e) => panic!("{} failed natively: {e}", w.name),
         }
     }
@@ -74,6 +79,7 @@ pub fn run_native_with(w: &Workload, size: Size, gcfg: GpuConfig) -> NativeRun {
         time: gpu.clock().total_time(),
         stats,
         timed_out,
+        aborted_launches,
     }
 }
 
@@ -104,6 +110,14 @@ pub struct IguardRun {
     pub stats_exec: LaunchStats,
     /// Whether the watchdog killed the run (races still reported).
     pub timed_out: bool,
+    /// Launches killed by an injected fault (zero without a fault plane).
+    pub aborted_launches: u64,
+    /// Everything the detector degraded on, fully accounted (collected
+    /// after the final report drain, so the channel invariant holds).
+    pub degradation: iguard::Degradation,
+    /// Injected-fault counters aggregated across the detector's
+    /// components and the GPU launch boundary.
+    pub fault_stats: faults::FaultStats,
 }
 
 /// Runs `w` under iGUARD with the evaluation GPU configuration for `seed`.
@@ -119,11 +133,13 @@ pub fn run_iguard_with(w: &Workload, size: Size, gcfg: GpuConfig, cfg: IguardCon
     let launches = w.build(&mut gpu, size);
     let mut tool = Instrumented::new(Iguard::new(cfg));
     let mut timed_out = false;
+    let mut aborted_launches = 0u64;
     let mut stats_exec = LaunchStats::default();
     for l in &launches {
         match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool) {
             Ok(s) => accumulate(&mut stats_exec, &s),
             Err(gpu_sim::error::SimError::Timeout { .. }) => timed_out = true,
+            Err(gpu_sim::error::SimError::InjectedFault { .. }) => aborted_launches += 1,
             Err(e) => panic!("{} failed under iGUARD: {e}", w.name),
         }
     }
@@ -133,14 +149,23 @@ pub fn run_iguard_with(w: &Workload, size: Size, gcfg: GpuConfig, cfg: IguardCon
     }
     let time = gpu.clock().total_time();
     let det = tool.tool_mut();
+    // `race_sites` drains the report channel, so the degradation summary
+    // collected afterwards satisfies `sent == drained + dropped`.
+    let sites = det.race_sites();
+    let degradation = det.degradation();
+    let mut fault_stats = det.fault_stats();
+    fault_stats.accumulate(&gpu.fault_stats());
     IguardRun {
         time,
         breakdown,
-        sites: det.race_sites(),
+        sites,
         stats: det.stats(),
         uvm: det.uvm_stats(),
         stats_exec,
         timed_out,
+        aborted_launches,
+        degradation,
+        fault_stats,
     }
 }
 
@@ -192,7 +217,9 @@ pub fn run_barracuda_with(
     let mut tool = Instrumented::new(Barracuda::new(cfg));
     for l in &launches {
         match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool) {
-            Ok(_) | Err(gpu_sim::error::SimError::Timeout { .. }) => {}
+            Ok(_)
+            | Err(gpu_sim::error::SimError::Timeout { .. })
+            | Err(gpu_sim::error::SimError::InjectedFault { .. }) => {}
             Err(e) => panic!("{} failed under Barracuda: {e}", w.name),
         }
         if tool.tool().failure().is_some() {

@@ -21,6 +21,7 @@
 
 use std::fmt::Write as _;
 
+use faults::FaultConfig;
 use gpu_sim::hook::ExecMode;
 use gpu_sim::machine::{Gpu, GpuConfig, LaunchStats};
 use gpu_sim::sched::{RandomScheduler, RecordingScheduler, ReplayScheduler, ScheduleTrace, Scheduler};
@@ -49,20 +50,28 @@ fn golden_gpu(seed: u64, mode: ExecMode) -> GpuConfig {
 /// visibility, detection, cycle accounting, or reporting — changes the
 /// line.
 fn run_line(w: &Workload, seed: u64, mode: ExecMode) -> String {
-    run_line_sched(w, seed, mode, None)
+    run_line_sched(w, seed, mode, None, &FaultConfig::disabled())
 }
 
 /// Like [`run_line`], but with an explicit scheduler driving every launch
-/// (`None` = the built-in `gpu.launch` path).
+/// (`None` = the built-in `gpu.launch` path) and an explicit fault plane
+/// threaded through both the GPU and the detector.
 fn run_line_sched(
     w: &Workload,
     seed: u64,
     mode: ExecMode,
     mut sched: Option<&mut dyn Scheduler>,
+    faults: &FaultConfig,
 ) -> String {
-    let mut gpu = Gpu::new(golden_gpu(seed, mode));
+    let mut gpu = Gpu::new(GpuConfig {
+        faults: faults.clone(),
+        ..golden_gpu(seed, mode)
+    });
     let launches = w.build(&mut gpu, Size::Test);
-    let mut tool = Instrumented::new(Iguard::new(IguardConfig::default()));
+    let mut tool = Instrumented::new(Iguard::new(IguardConfig {
+        faults: faults.clone(),
+        ..IguardConfig::default()
+    }));
     let mut stats = LaunchStats::default();
     let mut timed_out = false;
     for l in &launches {
@@ -122,22 +131,28 @@ fn run_line_sched(
     line
 }
 
-/// The full equivalence matrix, in a fixed order.
-fn golden_lines() -> Vec<String> {
+/// The full equivalence matrix, in a fixed order, with an explicit fault
+/// plane threaded through every run.
+fn golden_lines_with(faults: &FaultConfig) -> Vec<String> {
     let mut lines = Vec::new();
     for w in workloads::racey() {
         for seed in SEEDS {
             for mode in [ExecMode::Its, ExecMode::Lockstep] {
-                lines.push(run_line(&w, seed, mode));
+                lines.push(run_line_sched(&w, seed, mode, None, faults));
             }
         }
     }
     for w in workloads::clean() {
         for mode in [ExecMode::Its, ExecMode::Lockstep] {
-            lines.push(run_line(&w, bench::DEFAULT_SEED, mode));
+            lines.push(run_line_sched(&w, bench::DEFAULT_SEED, mode, None, faults));
         }
     }
     lines
+}
+
+/// The full equivalence matrix, in a fixed order.
+fn golden_lines() -> Vec<String> {
+    golden_lines_with(&FaultConfig::disabled())
 }
 
 const GOLDEN_PATH: &str = concat!(
@@ -170,6 +185,32 @@ fn optimized_pipeline_matches_seed_golden() {
     }
 }
 
+/// The fault plane must be byte-invisible when every rate is zero: the
+/// full matrix (3 seeds × {ITS, lockstep} over the racy workloads, plus
+/// the clean set) with a *seeded but zero-rate* plane threaded through
+/// the GPU, metadata table, UVM region, and report channel matches the
+/// golden file exactly. Zero-rate sites consume no RNG draws and the
+/// disabled plane short-circuits before touching any state, so compiling
+/// it in changes nothing.
+#[test]
+fn disabled_fault_plane_matches_seed_golden() {
+    if std::env::var_os("GOLDEN_WRITE").is_some() {
+        return; // the main test owns regeneration
+    }
+    let armed_but_silent = FaultConfig::disabled().with_seed(0x5eed);
+    let lines = golden_lines_with(&armed_but_silent);
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; regenerate with GOLDEN_WRITE=1");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(golden_lines.len(), lines.len(), "golden matrix shape changed");
+    for (i, (got, want)) in lines.iter().zip(&golden_lines).enumerate() {
+        assert_eq!(
+            got, want,
+            "row {i}: zero-rate fault plane perturbed the pipeline\n  got: {got}\n want: {want}"
+        );
+    }
+}
+
 /// The same pipeline run twice must be bit-identical — catches
 /// nondeterminism introduced by e.g. iteration over hash maps in the hot
 /// path (the seed's contention/history state was `HashMap`-backed; the
@@ -194,7 +235,8 @@ fn explicit_random_scheduler_is_byte_identical_to_launch() {
             let implicit = run_line(&w, seed, mode);
             let prob = golden_gpu(seed, mode).its_split_prob;
             let mut sched = RandomScheduler::new(seed, prob);
-            let explicit = run_line_sched(&w, seed, mode, Some(&mut sched));
+            let explicit =
+                run_line_sched(&w, seed, mode, Some(&mut sched), &FaultConfig::disabled());
             assert_eq!(implicit, explicit, "seed={seed} mode={mode:?}");
         }
     }
@@ -209,7 +251,7 @@ fn recorded_schedule_replays_byte_identically() {
     let prob = golden_gpu(seed, ExecMode::Its).its_split_prob;
 
     let mut rec = RecordingScheduler::new(RandomScheduler::new(seed, prob));
-    let recorded = run_line_sched(&w, seed, ExecMode::Its, Some(&mut rec));
+    let recorded = run_line_sched(&w, seed, ExecMode::Its, Some(&mut rec), &FaultConfig::disabled());
     let trace = rec.into_trace();
     assert_eq!(recorded, run_line(&w, seed, ExecMode::Its));
 
@@ -217,7 +259,8 @@ fn recorded_schedule_replays_byte_identically() {
     assert_eq!(round_tripped.digest(), trace.digest());
 
     let mut replay = ReplayScheduler::new(round_tripped);
-    let replayed = run_line_sched(&w, seed, ExecMode::Its, Some(&mut replay));
+    let replayed =
+        run_line_sched(&w, seed, ExecMode::Its, Some(&mut replay), &FaultConfig::disabled());
     assert!(replay.finished(), "replay left unconsumed decisions");
     assert_eq!(recorded, replayed);
 }
@@ -232,7 +275,7 @@ fn its_decision_stream_digest_is_pinned() {
     let seed = bench::DEFAULT_SEED;
     let prob = golden_gpu(seed, ExecMode::Its).its_split_prob;
     let mut rec = RecordingScheduler::new(RandomScheduler::new(seed, prob));
-    let _ = run_line_sched(&w, seed, ExecMode::Its, Some(&mut rec));
+    let _ = run_line_sched(&w, seed, ExecMode::Its, Some(&mut rec), &FaultConfig::disabled());
     let trace = rec.into_trace();
     let digest = trace.digest();
     if std::env::var_os("GOLDEN_WRITE").is_some() {

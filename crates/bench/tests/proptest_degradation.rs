@@ -1,0 +1,60 @@
+//! End-to-end degradation accounting: run the *actual* detector over a
+//! real workload under random fault schedules and check that the
+//! pipeline's own counters balance — every injected metadata eviction
+//! appears in `IguardStats::missed_checks`, every channel loss is in
+//! `ChannelStats::dropped`, and `Degradation::fully_accounted()` holds.
+//!
+//! The table-level mirror of this property lives in
+//! `iguard/tests/proptest_fault_plane.rs` with far more cases; this suite
+//! runs few cases because each one is a full simulated kernel.
+
+use faults::{FaultConfig, FaultSite, RATE_ONE};
+use iguard::IguardConfig;
+use proptest::prelude::*;
+use workloads::Size;
+
+use bench::{gpu_config, run_iguard_with};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pipeline_degradation_is_fully_accounted(
+        seed in 0u64..1 << 32,
+        evict_rate in 0u32..=RATE_ONE / 8,
+        alias_rate in 0u32..=RATE_ONE / 8,
+        drop_rate in 0u32..=RATE_ONE / 4,
+        cap_pow in 6u32..10,
+    ) {
+        let faults = FaultConfig::disabled()
+            .with_seed(seed)
+            .with_rate(FaultSite::MetaEviction, evict_rate)
+            .with_rate(FaultSite::MetaTagAlias, alias_rate)
+            .with_rate(FaultSite::ReportDrop, drop_rate);
+        let w = workloads::by_name("reduction").expect("reduction exists");
+        let icfg = IguardConfig {
+            faults: faults.clone(),
+            table_capacity_words: Some(1usize << cap_pow),
+            ..IguardConfig::default()
+        };
+        let run = run_iguard_with(&w, Size::Test, gpu_config(seed), icfg);
+
+        let d = run.degradation;
+        prop_assert!(
+            d.fully_accounted(),
+            "missed={} evictions={} sent={} drained+dropped={}",
+            d.missed_checks,
+            d.meta.total_evictions(),
+            d.channel.sent,
+            d.channel.drained + d.channel.dropped
+        );
+        // The detector's missed-check counter is exactly the table's
+        // eviction total, and the injected share equals the fault
+        // plane's own fire counts.
+        prop_assert_eq!(d.missed_checks, d.meta.total_evictions());
+        let f = &run.fault_stats;
+        prop_assert_eq!(f.get(FaultSite::MetaEviction), d.meta.injected_evictions);
+        prop_assert_eq!(f.get(FaultSite::MetaTagAlias), d.meta.injected_aliases);
+        prop_assert!(d.channel.dropped >= f.get(FaultSite::ReportDrop));
+    }
+}

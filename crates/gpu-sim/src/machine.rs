@@ -30,6 +30,7 @@ use crate::kernel::Kernel;
 use crate::mem::GlobalMem;
 use crate::sched::{LaunchContext, RandomScheduler, Scheduler};
 use crate::timing::{Clock, CostCategory, CostModel, Phase, PhaseTimes};
+use faults::{FaultConfig, FaultInjector, FaultSite, FaultStats};
 use std::time::Instant;
 
 /// Static configuration of the simulated device.
@@ -60,6 +61,9 @@ pub struct GpuConfig {
     /// UVM) into [`LaunchStats::phases`]. Off by default: the hot path
     /// then performs no clock reads.
     pub profile_phases: bool,
+    /// Fault-injection plane (disabled by default; a disabled config is
+    /// behaviour-identical to a build without the plane).
+    pub faults: FaultConfig,
 }
 
 impl Default for GpuConfig {
@@ -75,6 +79,7 @@ impl Default for GpuConfig {
             warp_slots_per_sm: 4,
             cost: CostModel::default(),
             profile_phases: false,
+            faults: FaultConfig::disabled(),
         }
     }
 }
@@ -175,6 +180,7 @@ pub struct Gpu {
     allocs: Vec<Allocation>,
     bump_word: usize,
     logical_allocated: u64,
+    faults: FaultInjector,
 }
 
 impl Gpu {
@@ -183,18 +189,42 @@ impl Gpu {
     /// # Panics
     /// Panics if `mem_words` exceeds the simulator's 32-bit byte address
     /// space (2^30 words): buffer addresses are `u32` byte addresses, so a
-    /// larger backing store would silently wrap.
+    /// larger backing store would silently wrap. Fallible callers use
+    /// [`Gpu::try_new`].
     #[must_use]
     pub fn new(cfg: GpuConfig) -> Self {
-        assert!(
-            cfg.mem_words <= 1 << 30,
-            "mem_words {} exceeds the 32-bit simulated address space",
-            cfg.mem_words
-        );
+        Gpu::try_new(cfg).unwrap_or_else(|e| match e {
+            SimError::BadConfig { reason } => panic!("{reason}"),
+            e => panic!("{e}"),
+        })
+    }
+
+    /// Fallible [`Gpu::new`]: a structurally invalid configuration becomes
+    /// [`SimError::BadConfig`] instead of a panic.
+    pub fn try_new(cfg: GpuConfig) -> Result<Self, SimError> {
+        if cfg.mem_words > 1 << 30 {
+            return Err(SimError::BadConfig {
+                reason: format!(
+                    "mem_words {} exceeds the 32-bit simulated address space",
+                    cfg.mem_words
+                ),
+            });
+        }
+        if cfg.num_sms == 0 {
+            return Err(SimError::BadConfig {
+                reason: "num_sms must be positive".into(),
+            });
+        }
+        if cfg.warp_slots_per_sm == 0 {
+            return Err(SimError::BadConfig {
+                reason: "warp_slots_per_sm must be positive".into(),
+            });
+        }
         let mem = GlobalMem::new(cfg.mem_words, cfg.num_sms);
         let mut clock = Clock::new();
         clock.set_profiling(cfg.profile_phases);
-        Gpu {
+        let faults = FaultInjector::new(&cfg.faults, "gpu-launch");
+        Ok(Gpu {
             cfg,
             mem,
             clock,
@@ -202,7 +232,14 @@ impl Gpu {
             // Reserve the first words so address 0 stays "null".
             bump_word: 16,
             logical_allocated: 64,
-        }
+            faults,
+        })
+    }
+
+    /// Injected-fault counters for the launch boundary.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
     }
 
     /// The device configuration.
@@ -337,6 +374,21 @@ impl Gpu {
             });
         }
 
+        // Fault plane: a launch can abort at the boundary (sticky device
+        // fault) or hang partway and be killed by the watchdog. The hang
+        // point is a deterministic draw, so a campaign replays exactly.
+        let mut step_limit = self.cfg.max_steps;
+        if self.faults.enabled() {
+            if self.faults.fire(FaultSite::KernelAbort) {
+                return Err(SimError::InjectedFault {
+                    site: FaultSite::KernelAbort.name().into(),
+                });
+            }
+            if self.faults.fire(FaultSite::KernelHang) {
+                step_limit = step_limit.min(self.faults.draw(FaultSite::KernelHang, self.cfg.max_steps));
+            }
+        }
+
         let warps_per_block = block_dim.div_ceil(WARP_SIZE as u32);
         let total_threads = grid_dim * block_dim;
         let total_warps = grid_dim * warps_per_block;
@@ -407,7 +459,7 @@ impl Gpu {
 
         while run.live > 0 {
             run.stats.steps += 1;
-            if run.stats.steps > self.cfg.max_steps {
+            if run.stats.steps > step_limit {
                 // Publish what executed so detectors can still report.
                 self.mem.flush_all();
                 return Err(SimError::Timeout {

@@ -1,6 +1,7 @@
 //! Detector configuration, including the §6.5 optimization toggles used by
 //! the Figure 12 ablation and the §6.7 accessor-history ablation.
 
+use faults::FaultConfig;
 use uvm_sim::UvmConfig;
 
 /// Tunable parameters of the iGUARD detector.
@@ -47,6 +48,15 @@ pub struct IguardConfig {
     pub setup_fixed_cost: u64,
     /// Per-launch miscellaneous cost (kernel load, report drain).
     pub misc_cost_per_launch: u64,
+    /// Metadata-table entry-capacity override. `None` (default) covers
+    /// every word injectively; `Some(n)` caps the table at `n` entries,
+    /// forcing bounded eviction with missed-check accounting under
+    /// pressure (`bench --bin pressure`).
+    pub table_capacity_words: Option<usize>,
+    /// Fault-injection plane for detector-side components (metadata
+    /// table, backing UVM region, race-report channel). Disabled by
+    /// default; a disabled plane draws nothing and changes nothing.
+    pub faults: FaultConfig,
 }
 
 impl Default for IguardConfig {
@@ -66,6 +76,8 @@ impl Default for IguardConfig {
             report_capacity: 16 * 1024,
             setup_fixed_cost: 150,
             misc_cost_per_launch: 100,
+            table_capacity_words: None,
+            faults: FaultConfig::disabled(),
         }
     }
 }

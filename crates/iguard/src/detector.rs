@@ -15,16 +15,19 @@
 
 use std::time::Instant;
 
+use faults::FaultStats;
 use gpu_sim::hook::{AccessKind, LaneAccess, LaunchInfo, MemAccess, SyncEvent};
 use gpu_sim::ir::{AtomOp, Scope, Space};
 use gpu_sim::timing::{Clock, CostCategory, Phase};
+use nvbit_sim::channel::ChannelStats;
 use nvbit_sim::Tool;
 
 use crate::bitfield::{AccessorInfo, MetadataEntry};
 use crate::checks::{detailed, preliminary, AccessType, CurrAccess, MdView, RaceKind, Safe};
 use crate::config::IguardConfig;
+use crate::error::IguardError;
 use crate::locks::WarpLockState;
-use crate::metadata::{MetadataTable, ENTRY_BYTES};
+use crate::metadata::{MetaStats, MetadataTable, TableConfig, ENTRY_BYTES};
 use crate::report::{RaceRecord, RaceReporter, RaceSite};
 use crate::syncmeta::SyncMetadata;
 
@@ -47,6 +50,50 @@ pub struct IguardStats {
     pub uvm_cycles: u64,
     /// Kernel launches observed.
     pub launches: u64,
+    /// Accesses whose previous-accessor metadata was lost (capacity
+    /// eviction or injected fault) before they could be checked. The
+    /// access is still processed — as a first access — so detection
+    /// degrades (possible missed race) instead of failing.
+    pub missed_checks: u64,
+    /// Events received while the detector had no live launch state
+    /// (e.g. the metadata table failed to initialize). Dropped, counted.
+    pub orphan_events: u64,
+    /// Launches that could not allocate the metadata table; the detector
+    /// keeps running blind (every access becomes an orphan event).
+    pub table_init_failures: u64,
+}
+
+/// One-stop degradation summary: everything the detector gave up on,
+/// with enough structure to prove each loss is accounted for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Checks lost to metadata eviction/aliasing (see [`IguardStats`]).
+    pub missed_checks: u64,
+    /// Events dropped for lack of launch state.
+    pub orphan_events: u64,
+    /// Metadata-table allocation failures survived.
+    pub table_init_failures: u64,
+    /// Per-cause metadata-loss counters.
+    pub meta: MetaStats,
+    /// Race-report channel accounting (sent / drained / dropped).
+    pub channel: ChannelStats,
+    /// UVM evictions injected into the metadata region.
+    pub uvm_injected_evictions: u64,
+    /// Metadata prefaults denied by injected device OOM.
+    pub uvm_injected_oom_denials: u64,
+}
+
+impl Degradation {
+    /// True when every degradation is traceable to a counter: each
+    /// metadata-entry loss produced exactly one missed check, and every
+    /// record sent on the report channel was either drained or counted
+    /// as dropped. The channel half only holds after a full drain
+    /// ([`Iguard::races`]); call that first.
+    #[must_use]
+    pub fn fully_accounted(&self) -> bool {
+        self.missed_checks == self.meta.total_evictions()
+            && self.channel.sent == self.channel.drained + self.channel.dropped
+    }
 }
 
 /// Capacity of the inline history ring; the §6.7 ablation tops out at
@@ -279,10 +326,20 @@ impl Default for Iguard {
 
 impl Iguard {
     /// Creates a detector with the given configuration.
+    ///
+    /// Infallible for ergonomics: a zero report capacity is clamped to 1.
+    /// Use [`Iguard::try_new`] to surface configuration errors instead.
     #[must_use]
-    pub fn new(cfg: IguardConfig) -> Self {
-        let reporter = RaceReporter::new(cfg.report_capacity);
-        Iguard {
+    pub fn new(mut cfg: IguardConfig) -> Self {
+        cfg.report_capacity = cfg.report_capacity.max(1);
+        Iguard::try_new(cfg).expect("report capacity clamped to >= 1")
+    }
+
+    /// Creates a detector, returning a typed error on an unusable
+    /// configuration (e.g. a zero-capacity report buffer).
+    pub fn try_new(cfg: IguardConfig) -> Result<Self, IguardError> {
+        let reporter = RaceReporter::with_faults(cfg.report_capacity, &cfg.faults)?;
+        Ok(Iguard {
             cfg,
             sync: None,
             locks: Vec::new(),
@@ -295,13 +352,50 @@ impl Iguard {
             window: 64,
             scratch_words: Vec::with_capacity(32),
             scratch_pairs: Vec::with_capacity(32),
-        }
+        })
     }
 
     /// Detector counters.
     #[must_use]
     pub fn stats(&self) -> IguardStats {
         self.stats
+    }
+
+    /// Everything the detector degraded on, with per-cause accounting.
+    #[must_use]
+    pub fn degradation(&self) -> Degradation {
+        let meta = self
+            .table
+            .as_ref()
+            .map(MetadataTable::meta_stats)
+            .unwrap_or_default();
+        let uvm = self.uvm_stats();
+        Degradation {
+            missed_checks: self.stats.missed_checks,
+            orphan_events: self.stats.orphan_events,
+            table_init_failures: self.stats.table_init_failures,
+            meta,
+            channel: self.reporter.channel_stats(),
+            uvm_injected_evictions: uvm.injected_evictions,
+            uvm_injected_oom_denials: uvm.injected_oom_denials,
+        }
+    }
+
+    /// Aggregated injected-fault counters across the detector's
+    /// components (metadata table, its UVM region, report channel).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = self.reporter.fault_stats();
+        if let Some(t) = &self.table {
+            total.accumulate(&t.fault_stats());
+        }
+        total
+    }
+
+    /// Race-report channel accounting.
+    #[must_use]
+    pub fn channel_stats(&self) -> ChannelStats {
+        self.reporter.channel_stats()
     }
 
     /// UVM statistics of the metadata region (empty before first launch).
@@ -381,6 +475,13 @@ impl Iguard {
         access: &MemAccess<'_>,
         clock: &mut Clock,
     ) {
+        // Graceful degradation: an access with no live launch state
+        // (table allocation failed, or the event arrived before any
+        // launch) is dropped and counted instead of panicking.
+        if self.table.is_none() || self.sync.is_none() || self.locks.is_empty() {
+            self.stats.orphan_events += 1;
+            return;
+        }
         self.stats.accesses += 1;
 
         let word = lane_access.addr / 4;
@@ -391,13 +492,19 @@ impl Iguard {
 
         // Metadata lookup: UVM touch + contention serialization.
         let t0 = clock.profiling().then(Instant::now);
-        let loaded = self.table.as_mut().expect("launched").load(word);
+        let loaded = self.table.as_mut().expect("guarded above").load(word);
         if let Some(t) = t0 {
             clock.add_phase_ns(Phase::Uvm, t.elapsed().as_nanos() as u64);
         }
         if loaded.uvm_cycles > 0 {
             self.stats.uvm_cycles += loaded.uvm_cycles;
             clock.charge_serial(CostCategory::Detection, loaded.uvm_cycles);
+        }
+        if loaded.evicted {
+            // The entry's previous accessor was forgotten (capacity
+            // pressure or injected fault): the check below degenerates to
+            // a first access, so a race could slip by — count it.
+            self.stats.missed_checks += 1;
         }
         self.charge_contention(word, warp, access.step, clock);
 
@@ -420,7 +527,7 @@ impl Iguard {
                 }
             }
             self.push_history(word, snap, lock_summary);
-            self.table.as_mut().expect("launched").store(word, entry);
+            self.table.as_mut().expect("guarded above").store(word, entry);
             return;
         }
 
@@ -498,7 +605,7 @@ impl Iguard {
             }
         }
         self.push_history(word, snap, lock_summary);
-        self.table.as_mut().expect("launched").store(word, entry);
+        self.table.as_mut().expect("guarded above").store(word, entry);
     }
 
     fn md_view(&self, info: AccessorInfo) -> MdView {
@@ -602,22 +709,33 @@ impl Tool for Iguard {
                 // First launch: allocate the managed metadata region sized
                 // at ~4× device capacity (§6.1) and prefault what fits.
                 let virtual_bytes = 4 * info.device_capacity_bytes;
-                let mut table = MetadataTable::new(
-                    info.backing_words,
-                    self.cfg.uvm.clone(),
+                match MetadataTable::new(TableConfig {
+                    words: info.backing_words,
+                    uvm: self.cfg.uvm.clone(),
                     virtual_bytes,
-                    info.free_device_bytes,
-                    self.cfg.addr_scale,
-                );
-                let mut setup = self.cfg.setup_fixed_cost;
-                if self.cfg.prefault {
-                    // Metadata is 4x the data it shadows (Sec 6.1); prefault
-                    // as much of it as free device memory allows.
-                    let needed = info.app_footprint_bytes.saturating_mul(4);
-                    setup += table.prefault(needed.max(ENTRY_BYTES));
+                    device_budget_bytes: info.free_device_bytes,
+                    addr_scale: self.cfg.addr_scale,
+                    capacity_words: self.cfg.table_capacity_words,
+                    faults: self.cfg.faults.clone(),
+                }) {
+                    Ok(mut table) => {
+                        let mut setup = self.cfg.setup_fixed_cost;
+                        if self.cfg.prefault {
+                            // Metadata is 4x the data it shadows (Sec 6.1);
+                            // prefault as much of it as free device memory
+                            // allows.
+                            let needed = info.app_footprint_bytes.saturating_mul(4);
+                            setup += table.prefault(needed.max(ENTRY_BYTES));
+                        }
+                        clock.charge_serial(CostCategory::Setup, setup);
+                        self.table = Some(table);
+                    }
+                    Err(_) => {
+                        // Degrade instead of crashing the launch: run blind
+                        // for this process and count every dropped event.
+                        self.stats.table_init_failures += 1;
+                    }
                 }
-                clock.charge_serial(CostCategory::Setup, setup);
-                self.table = Some(table);
             }
         }
         clock.charge_serial(CostCategory::Misc, self.cfg.misc_cost_per_launch);
@@ -656,12 +774,17 @@ impl Tool for Iguard {
                 tids,
                 ..
             } => {
-                let sync = self.sync.as_mut().expect("launched");
+                let Some(sync) = self.sync.as_mut() else {
+                    self.stats.orphan_events += 1;
+                    return;
+                };
                 for &(lane, _tid) in tids.iter() {
                     sync.fence(*scope, *global_warp, lane);
                 }
                 let lanes: Vec<u32> = tids.iter().map(|&(lane, _)| lane).collect();
-                self.locks[*global_warp as usize].on_fence(lanes, *scope);
+                if let Some(wl) = self.locks.get_mut(*global_warp as usize) {
+                    wl.on_fence(lanes, *scope);
+                }
             }
         }
     }

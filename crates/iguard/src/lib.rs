@@ -53,6 +53,7 @@ pub mod bitfield;
 pub mod checks;
 pub mod config;
 pub mod detector;
+pub mod error;
 pub mod locks;
 pub mod metadata;
 pub mod report;
@@ -61,6 +62,7 @@ pub mod syncmeta;
 
 pub use checks::{AccessType, RaceKind};
 pub use config::IguardConfig;
-pub use detector::{Iguard, IguardStats};
+pub use detector::{Degradation, Iguard, IguardStats};
+pub use error::IguardError;
 pub use report::{RaceRecord, RaceSite};
 pub use scratchpad::{ScratchpadGuard, SharedRace};

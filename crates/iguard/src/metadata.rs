@@ -12,10 +12,73 @@
 //! the zero-cost equivalent for a long-lived table.)
 
 use crate::bitfield::MetadataEntry;
+use crate::error::IguardError;
+use faults::{FaultConfig, FaultInjector, FaultSite, FaultStats};
 use uvm_sim::{ManagedRegion, Touch, UvmConfig};
 
 /// Bytes of metadata per 4-byte word (Figure 4).
 pub const ENTRY_BYTES: u64 = 16;
+
+/// Construction parameters of a [`MetadataTable`].
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    /// 4-byte words of global memory the table shadows.
+    pub words: usize,
+    /// UVM driver cost model for the managed metadata region.
+    pub uvm: UvmConfig,
+    /// Managed region size (the paper allocates ~4× of GPU capacity).
+    pub virtual_bytes: u64,
+    /// Device bytes available to back metadata residency.
+    pub device_budget_bytes: u64,
+    /// Logical address multiplier for footprint-scaling experiments.
+    pub addr_scale: u64,
+    /// Entry-capacity override. `None` sizes the table to cover every
+    /// word injectively (no aliasing — today's behaviour); `Some(n)` caps
+    /// it at `n` entries, so distinct words contend for slots and live
+    /// metadata is evicted under pressure — the bounded-eviction overflow
+    /// mode measured by `bench --bin pressure`.
+    pub capacity_words: Option<usize>,
+    /// Fault plane for the table and its backing UVM region.
+    pub faults: FaultConfig,
+}
+
+impl TableConfig {
+    /// The zero-fault, full-capacity configuration (today's behaviour).
+    #[must_use]
+    pub fn covering(words: usize) -> Self {
+        TableConfig {
+            words,
+            uvm: UvmConfig::default(),
+            virtual_bytes: 1 << 30,
+            device_budget_bytes: 1 << 30,
+            addr_scale: 1,
+            capacity_words: None,
+            faults: FaultConfig::disabled(),
+        }
+    }
+}
+
+/// Degradation counters of the metadata table. The detector mirrors their
+/// sum into `IguardStats::missed_checks`, so every lost check is visible
+/// in reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetaStats {
+    /// Live entries evicted by genuine capacity pressure (a smaller-than-
+    /// memory table reusing a slot for a different address).
+    pub capacity_evictions: u64,
+    /// Entries forgotten because the fault plane evicted them.
+    pub injected_evictions: u64,
+    /// Entries forgotten because the fault plane aliased their tag.
+    pub injected_aliases: u64,
+}
+
+impl MetaStats {
+    /// Total loads that lost their previous-accessor information.
+    #[must_use]
+    pub fn total_evictions(&self) -> u64 {
+        self.capacity_evictions + self.injected_evictions + self.injected_aliases
+    }
+}
 
 /// The UVM-backed metadata table.
 #[derive(Debug)]
@@ -34,6 +97,11 @@ pub struct MetadataTable {
     /// offsets, so footprint-scaling experiments (Figure 14) exercise the
     /// paging behaviour of multi-GB metadata with small backing arrays.
     addr_scale: u64,
+    /// Whether distinct in-bounds words can contend for one slot (only
+    /// with a `capacity_words` override below `words`).
+    can_alias: bool,
+    faults: FaultInjector,
+    meta_stats: MetaStats,
 }
 
 /// Result of a metadata load.
@@ -44,39 +112,66 @@ pub struct MetaLoad {
     pub entry: MetadataEntry,
     /// UVM cycles incurred touching the entry's page (0 when resident).
     pub uvm_cycles: u64,
+    /// Previous-accessor information was lost for this load (capacity
+    /// eviction or injected fault): the race check against the forgotten
+    /// accessor cannot run, and the detector counts a missed check.
+    pub evicted: bool,
 }
 
 impl MetadataTable {
-    /// Creates a table covering `words` 4-byte words of global memory.
-    ///
-    /// `virtual_bytes` is the managed region's size (the paper allocates
-    /// ~4× of GPU memory capacity); `device_budget_bytes` bounds residency.
-    #[must_use]
-    pub fn new(
-        words: usize,
-        uvm_cfg: UvmConfig,
-        virtual_bytes: u64,
-        device_budget_bytes: u64,
-        addr_scale: u64,
-    ) -> Self {
-        assert!(words > 0, "metadata table cannot be empty");
-        // Power-of-two capacity: slot/tag become mask/shift. For every
-        // in-bounds word index (< `words`) the mapping is identical to the
-        // modulo/divide scheme, so behaviour is unchanged in practice.
-        let capacity = words.next_power_of_two();
+    /// Creates a table shadowing `cfg.words` 4-byte words of global
+    /// memory, with optional capacity pressure and fault injection.
+    pub fn new(cfg: TableConfig) -> Result<Self, IguardError> {
+        if cfg.words == 0 {
+            return Err(IguardError::EmptyTable);
+        }
+        // Power-of-two capacity: slot/tag become mask/shift. Without an
+        // override the capacity covers every in-bounds word index
+        // injectively, so the mapping is identical to the modulo/divide
+        // scheme and behaviour is unchanged in practice. A smaller
+        // override makes distinct words contend for slots — bounded
+        // eviction under pressure.
+        let capacity = cfg
+            .capacity_words
+            .unwrap_or(cfg.words)
+            .max(1)
+            .next_power_of_two();
+        let mut uvm = ManagedRegion::new(
+            cfg.uvm,
+            cfg.virtual_bytes.max(ENTRY_BYTES),
+            cfg.device_budget_bytes,
+        )?;
+        uvm.set_faults(FaultInjector::new(&cfg.faults, "metadata-uvm"));
         // Slot storage grows lazily to the touched high-water mark (the
         // mapping is identity for in-bounds words, so this is equivalent
         // to full preallocation); only the mask/shift use `capacity`.
-        MetadataTable {
+        Ok(MetadataTable {
             acc: Vec::new(),
             wr: Vec::new(),
             epoch: Vec::new(),
             cur_epoch: 0,
             slot_mask: capacity - 1,
             tag_shift: capacity.trailing_zeros(),
-            uvm: ManagedRegion::new(uvm_cfg, virtual_bytes.max(ENTRY_BYTES), device_budget_bytes),
-            addr_scale: addr_scale.max(1),
-        }
+            uvm,
+            addr_scale: cfg.addr_scale.max(1),
+            can_alias: capacity < cfg.words.next_power_of_two(),
+            faults: FaultInjector::new(&cfg.faults, "metadata"),
+            meta_stats: MetaStats::default(),
+        })
+    }
+
+    /// Degradation counters (evictions, injected forgetfulness).
+    #[must_use]
+    pub fn meta_stats(&self) -> MetaStats {
+        self.meta_stats
+    }
+
+    /// Injected-fault counters for the table itself plus its UVM region.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut s = self.faults.stats();
+        s.accumulate(&self.uvm.fault_stats());
+        s
     }
 
     /// Number of entries (the power-of-two capacity).
@@ -147,13 +242,37 @@ impl MetadataTable {
             (0, 0, self.cur_epoch.wrapping_add(1))
         };
         let mut entry = MetadataEntry::unpack(a, w);
-        if ep != self.cur_epoch || entry.tag != tag {
+        // A live, valid entry with a different tag is a *capacity
+        // eviction*: the slot is being reused for another address and its
+        // previous-accessor information is lost. Only possible when a
+        // capacity override lets in-bounds words alias.
+        let mut evicted =
+            self.can_alias && ep == self.cur_epoch && entry.flags.valid && entry.tag != tag;
+        if evicted {
+            self.meta_stats.capacity_evictions += 1;
+        } else if self.faults.enabled() {
+            // Injected forgetfulness, consulted only when the load would
+            // otherwise proceed normally so each fired fault maps to
+            // exactly one MetaStats counter.
+            if self.faults.fire(FaultSite::MetaEviction) {
+                self.meta_stats.injected_evictions += 1;
+                evicted = true;
+            } else if self.faults.fire(FaultSite::MetaTagAlias) {
+                self.meta_stats.injected_aliases += 1;
+                evicted = true;
+            }
+        }
+        if ep != self.cur_epoch || entry.tag != tag || evicted {
             entry = MetadataEntry {
                 tag,
                 ..MetadataEntry::default()
             };
         }
-        MetaLoad { entry, uvm_cycles }
+        MetaLoad {
+            entry,
+            uvm_cycles,
+            evicted,
+        }
     }
 
     /// Stores the entry for `word_idx` (stamps tag and epoch).
@@ -174,7 +293,7 @@ mod tests {
     use crate::bitfield::{AccessorInfo, Flags};
 
     fn table(words: usize) -> MetadataTable {
-        MetadataTable::new(words, UvmConfig::default(), 1 << 30, 1 << 30, 1)
+        MetadataTable::new(TableConfig::covering(words)).unwrap()
     }
 
     fn valid_entry(warp: u32) -> MetadataEntry {
@@ -256,8 +375,17 @@ mod tests {
             page_bytes: 4096,
             ..UvmConfig::default()
         };
-        let mut near = MetadataTable::new(64, cfg.clone(), 1 << 30, 1 << 30, 1);
-        let mut far = MetadataTable::new(64, cfg, 1 << 30, 1 << 30, 1024);
+        let mut near = MetadataTable::new(TableConfig {
+            uvm: cfg.clone(),
+            ..TableConfig::covering(64)
+        })
+        .unwrap();
+        let mut far = MetadataTable::new(TableConfig {
+            uvm: cfg,
+            addr_scale: 1024,
+            ..TableConfig::covering(64)
+        })
+        .unwrap();
         for w in 0..64u32 {
             let _ = near.load(w);
             let _ = far.load(w);
@@ -268,5 +396,80 @@ mod tests {
             far.uvm_stats().faults,
             near.uvm_stats().faults
         );
+    }
+
+    #[test]
+    fn empty_table_is_a_typed_error() {
+        assert_eq!(
+            MetadataTable::new(TableConfig::covering(0)).unwrap_err(),
+            IguardError::EmptyTable
+        );
+    }
+
+    #[test]
+    fn full_capacity_never_counts_capacity_evictions() {
+        let mut t = table(64);
+        for w in 0..64u32 {
+            t.store(w, valid_entry(w));
+        }
+        for w in 0..64u32 {
+            assert!(!t.load(w).evicted);
+        }
+        assert_eq!(t.meta_stats(), MetaStats::default());
+    }
+
+    #[test]
+    fn capacity_override_evicts_live_entries() {
+        let mut t = MetadataTable::new(TableConfig {
+            capacity_words: Some(8),
+            ..TableConfig::covering(64)
+        })
+        .unwrap();
+        assert_eq!(t.len(), 8);
+        t.store(3, valid_entry(1));
+        // Word 11 maps to slot 3 under the 8-entry table: loading it
+        // evicts word 3's live entry.
+        let l = t.load(11);
+        assert!(l.evicted);
+        assert!(!l.entry.flags.valid, "evicted slot presents as first access");
+        assert_eq!(t.meta_stats().capacity_evictions, 1);
+        // A re-load of the same word without an intervening store does not
+        // evict again (the slot no longer holds live info for it).
+        t.store(11, valid_entry(2));
+        assert!(!t.load(11).evicted);
+    }
+
+    #[test]
+    fn injected_eviction_forgets_live_entries_and_is_counted() {
+        use faults::{FaultConfig, RATE_ONE};
+        let mut t = MetadataTable::new(TableConfig {
+            faults: FaultConfig::disabled()
+                .with_seed(7)
+                .with_rate(FaultSite::MetaEviction, RATE_ONE),
+            ..TableConfig::covering(64)
+        })
+        .unwrap();
+        t.store(5, valid_entry(9));
+        let l = t.load(5);
+        assert!(l.evicted);
+        assert!(!l.entry.flags.valid);
+        let ms = t.meta_stats();
+        assert_eq!(ms.injected_evictions, 1);
+        assert_eq!(ms.capacity_evictions, 0);
+        assert_eq!(t.fault_stats().get(FaultSite::MetaEviction), 1);
+        // Every fired fault maps to exactly one MetaStats counter.
+        assert_eq!(t.fault_stats().total(), ms.total_evictions());
+    }
+
+    #[test]
+    fn disabled_faults_draw_nothing() {
+        let mut a = table(64);
+        let mut b = table(64);
+        for w in 0..64u32 {
+            a.store(w, valid_entry(w));
+            b.store(w, valid_entry(w));
+            assert_eq!(a.load(w).entry.pack(), b.load(w).entry.pack());
+        }
+        assert_eq!(a.fault_stats().total(), 0);
     }
 }

@@ -9,8 +9,9 @@
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
+use faults::{FaultConfig, FaultInjector, FaultStats};
 use gpu_sim::timing::{Clock, CostCategory};
-use nvbit_sim::channel::HostChannel;
+use nvbit_sim::channel::{ChannelError, ChannelStats, HostChannel};
 
 use crate::checks::{AccessType, RaceKind};
 
@@ -88,15 +89,34 @@ pub struct RaceReporter {
 impl RaceReporter {
     /// A reporter whose buffer holds `capacity` records before flushing
     /// (the paper's 1 MB buffer ≈ 16 K records).
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
-        RaceReporter {
-            // Shipping a race record is rare; costs are tiny and charged to
-            // Misc as "report draining".
-            channel: HostChannel::new(capacity, 30, 2_000, CostCategory::Misc),
+    pub fn new(capacity: usize) -> Result<Self, ChannelError> {
+        RaceReporter::with_faults(capacity, &FaultConfig::disabled())
+    }
+
+    /// Like [`RaceReporter::new`], with the fault plane attached to the
+    /// report channel (drop / corruption / overflow injection).
+    pub fn with_faults(capacity: usize, faults: &FaultConfig) -> Result<Self, ChannelError> {
+        // Shipping a race record is rare; costs are tiny and charged to
+        // Misc as "report draining".
+        let mut channel = HostChannel::new(capacity, 30, 2_000, CostCategory::Misc)?;
+        channel.set_faults(FaultInjector::new(faults, "report-channel"));
+        Ok(RaceReporter {
+            channel,
             shipped_keys: HashSet::new(),
             dynamic_races: 0,
-        }
+        })
+    }
+
+    /// Channel counters (sent / drained / dropped accounting).
+    #[must_use]
+    pub fn channel_stats(&self) -> ChannelStats {
+        self.channel.stats()
+    }
+
+    /// Injected-fault counters for the report channel.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.channel.fault_stats()
     }
 
     /// Records one detected race.
@@ -164,7 +184,7 @@ mod tests {
     #[test]
     fn duplicate_races_ship_once_but_count() {
         let mut clk = Clock::new();
-        let mut r = RaceReporter::new(100);
+        let mut r = RaceReporter::new(100).unwrap();
         for _ in 0..50 {
             r.report(record(5, RaceKind::IntraBlock), &mut clk);
         }
@@ -176,7 +196,7 @@ mod tests {
     #[test]
     fn distinct_pcs_and_kinds_all_ship() {
         let mut clk = Clock::new();
-        let mut r = RaceReporter::new(100);
+        let mut r = RaceReporter::new(100).unwrap();
         r.report(record(5, RaceKind::IntraBlock), &mut clk);
         r.report(record(5, RaceKind::Locking), &mut clk);
         r.report(record(9, RaceKind::IntraBlock), &mut clk);

@@ -7,7 +7,7 @@ use nvbit_sim::channel::HostChannel;
 use nvbit_sim::{Instrumented, Tool};
 
 fn channel(capacity: usize) -> HostChannel<u32> {
-    HostChannel::new(capacity, 5, 40, CostCategory::Detection)
+    HostChannel::new(capacity, 5, 40, CostCategory::Detection).unwrap()
 }
 
 #[test]

@@ -18,6 +18,31 @@
 #![forbid(unsafe_code)]
 
 use std::collections::VecDeque;
+use std::fmt;
+
+use faults::{FaultInjector, FaultSite, FaultStats};
+
+/// A structurally invalid UVM request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UvmError {
+    /// The migration granularity must be at least one byte.
+    ZeroPageSize,
+    /// A touch beyond the virtual allocation — unmapped managed memory.
+    OutOfRange { offset: u64, len_bytes: u64 },
+}
+
+impl fmt::Display for UvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UvmError::ZeroPageSize => write!(f, "UVM page size must be positive"),
+            UvmError::OutOfRange { offset, len_bytes } => {
+                write!(f, "touch at {offset} beyond region of {len_bytes} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UvmError {}
 
 /// Cost parameters of the simulated UVM driver (cycles).
 #[derive(Debug, Clone)]
@@ -79,6 +104,15 @@ pub struct UvmStats {
     pub fault_cycles: u64,
     /// Total cycles charged for prefaulting.
     pub prefault_cycles: u64,
+    /// Injected eviction storms: resident pages stolen behind the
+    /// detector's back by the fault plane (not counted in `evictions`).
+    pub injected_evictions: u64,
+    /// Injected device-OOM denials: prefault passes cut short by the
+    /// fault plane.
+    pub injected_oom_denials: u64,
+    /// Cycles charged for injected faults (kept separate from
+    /// `fault_cycles` so the zero-fault cost model is untouched).
+    pub injected_cycles: u64,
 }
 
 /// One `cudaMallocManaged` region with demand-paged device residency.
@@ -99,16 +133,23 @@ pub struct ManagedRegion {
     resident_count: u64,
     fifo: VecDeque<u64>,
     stats: UvmStats,
+    faults: FaultInjector,
 }
 
 impl ManagedRegion {
     /// Allocates `len_bytes` of *virtual* space. Nothing is resident yet,
     /// exactly like `cudaMallocManaged` (§6.1: "it only allocates virtual
     /// addresses").
-    #[must_use]
-    pub fn new(cfg: UvmConfig, len_bytes: u64, device_budget_bytes: u64) -> Self {
+    pub fn new(
+        cfg: UvmConfig,
+        len_bytes: u64,
+        device_budget_bytes: u64,
+    ) -> Result<Self, UvmError> {
+        if cfg.page_bytes == 0 {
+            return Err(UvmError::ZeroPageSize);
+        }
         let device_budget_pages = device_budget_bytes / cfg.page_bytes;
-        ManagedRegion {
+        Ok(ManagedRegion {
             cfg,
             len_bytes,
             device_budget_pages,
@@ -116,7 +157,19 @@ impl ManagedRegion {
             resident_count: 0,
             fifo: VecDeque::new(),
             stats: UvmStats::default(),
-        }
+            faults: FaultInjector::disabled(),
+        })
+    }
+
+    /// Attaches a fault injector (replacing the default disabled one).
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Injected-fault counters for this region.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
     }
 
     #[inline]
@@ -168,6 +221,12 @@ impl ManagedRegion {
             if self.resident_count >= self.device_budget_pages {
                 break;
             }
+            if self.faults.enabled() && self.faults.fire(FaultSite::UvmDeviceOom) {
+                // Device memory ran out under the allocator's feet: the
+                // remaining pages stay host-resident and will demand-fault.
+                self.stats.injected_oom_denials += 1;
+                break;
+            }
             if !self.is_resident(page) {
                 self.set_resident(page);
                 self.fifo.push_back(page);
@@ -184,16 +243,34 @@ impl ManagedRegion {
     ///
     /// # Panics
     /// Panics if `offset` is beyond the allocation — touching unmapped
-    /// managed memory is a tool bug, not a runtime condition.
+    /// managed memory is a tool bug, not a runtime condition. Fallible
+    /// callers use [`ManagedRegion::try_touch`].
     pub fn touch(&mut self, offset: u64) -> Touch {
-        assert!(
-            offset < self.len_bytes,
-            "touch at {offset} beyond region of {} B",
-            self.len_bytes
-        );
+        self.try_touch(offset)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ManagedRegion::touch`]: out-of-range offsets become a
+    /// typed error instead of a panic.
+    pub fn try_touch(&mut self, offset: u64) -> Result<Touch, UvmError> {
+        if offset >= self.len_bytes {
+            return Err(UvmError::OutOfRange {
+                offset,
+                len_bytes: self.len_bytes,
+            });
+        }
         let page = offset / self.cfg.page_bytes;
         if self.is_resident(page) {
-            return Touch::Hit;
+            if self.faults.enabled() && self.faults.fire(FaultSite::UvmEvictStorm) {
+                // An eviction storm stole the page behind our back: pay a
+                // re-migration (fault + evict) without disturbing the
+                // zero-fault residency bookkeeping.
+                let cycles = self.cfg.fault_cost + self.cfg.evict_cost;
+                self.stats.injected_evictions += 1;
+                self.stats.injected_cycles += cycles;
+                return Ok(Touch::Fault { cycles });
+            }
+            return Ok(Touch::Hit);
         }
         let mut cycles = self.cfg.fault_cost;
         self.stats.faults += 1;
@@ -203,7 +280,7 @@ impl ManagedRegion {
             cycles += self.cfg.evict_cost;
             self.stats.evictions += 1;
             self.stats.fault_cycles += cycles;
-            return Touch::Fault { cycles };
+            return Ok(Touch::Fault { cycles });
         }
         if self.resident_count >= self.device_budget_pages {
             let victim = self.fifo.pop_front().expect("resident set non-empty");
@@ -215,7 +292,7 @@ impl ManagedRegion {
         self.set_resident(page);
         self.fifo.push_back(page);
         self.stats.fault_cycles += cycles;
-        Touch::Fault { cycles }
+        Ok(Touch::Fault { cycles })
     }
 }
 
@@ -234,14 +311,14 @@ mod tests {
 
     #[test]
     fn allocation_is_virtual_only() {
-        let r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20);
+        let r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20).unwrap();
         assert_eq!(r.resident_pages(), 0);
         assert_eq!(r.total_pages(), 256);
     }
 
     #[test]
     fn first_touch_faults_then_hits() {
-        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20);
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20).unwrap();
         assert_eq!(r.touch(0), Touch::Fault { cycles: 100 });
         assert_eq!(r.touch(8), Touch::Hit);
         assert_eq!(r.touch(4095), Touch::Hit);
@@ -251,7 +328,7 @@ mod tests {
 
     #[test]
     fn prefault_makes_touches_free() {
-        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20);
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20).unwrap();
         let setup = r.prefault(u64::MAX);
         assert_eq!(setup, 256 * 10);
         assert_eq!(r.stats().prefaulted_pages, 256);
@@ -264,14 +341,14 @@ mod tests {
     #[test]
     fn prefault_is_bounded_by_device_budget() {
         // Budget of 8 pages; region of 256 pages.
-        let mut r = ManagedRegion::new(cfg(), 1 << 20, 8 * 4096);
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 8 * 4096).unwrap();
         r.prefault(u64::MAX);
         assert_eq!(r.resident_pages(), 8);
     }
 
     #[test]
     fn oversubscription_evicts_fifo() {
-        let mut r = ManagedRegion::new(cfg(), 1 << 20, 2 * 4096);
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 2 * 4096).unwrap();
         assert!(matches!(r.touch(0), Touch::Fault { cycles: 100 }));
         assert!(matches!(r.touch(4096), Touch::Fault { cycles: 100 }));
         // Third page evicts page 0 (FIFO): fault + evict cost.
@@ -283,7 +360,7 @@ mod tests {
 
     #[test]
     fn zero_budget_never_becomes_resident() {
-        let mut r = ManagedRegion::new(cfg(), 1 << 20, 0);
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 0).unwrap();
         assert!(matches!(r.touch(0), Touch::Fault { .. }));
         assert!(matches!(r.touch(0), Touch::Fault { .. }));
         assert_eq!(r.resident_pages(), 0);
@@ -292,7 +369,7 @@ mod tests {
 
     #[test]
     fn partial_prefault_respects_byte_limit() {
-        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20);
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20).unwrap();
         r.prefault(10 * 4096);
         assert_eq!(r.resident_pages(), 10);
         assert_eq!(r.touch(0), Touch::Hit);
@@ -301,7 +378,7 @@ mod tests {
 
     #[test]
     fn stats_accumulate_cycles() {
-        let mut r = ManagedRegion::new(cfg(), 1 << 20, 4096);
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 4096).unwrap();
         let _ = r.touch(0);
         let _ = r.touch(4096); // evicts
         let s = r.stats();
@@ -312,7 +389,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "beyond region")]
     fn touch_beyond_region_panics() {
-        let mut r = ManagedRegion::new(cfg(), 4096, 1 << 20);
+        let mut r = ManagedRegion::new(cfg(), 4096, 1 << 20).unwrap();
         let _ = r.touch(4096);
     }
 
@@ -320,5 +397,66 @@ mod tests {
     fn touch_cycles_accessor() {
         assert_eq!(Touch::Hit.cycles(), 0);
         assert_eq!(Touch::Fault { cycles: 7 }.cycles(), 7);
+    }
+
+    #[test]
+    fn zero_page_size_is_a_typed_error() {
+        let bad = UvmConfig {
+            page_bytes: 0,
+            ..cfg()
+        };
+        assert_eq!(
+            ManagedRegion::new(bad, 1 << 20, 1 << 20).unwrap_err(),
+            UvmError::ZeroPageSize
+        );
+    }
+
+    #[test]
+    fn try_touch_reports_out_of_range() {
+        let mut r = ManagedRegion::new(cfg(), 4096, 1 << 20).unwrap();
+        assert_eq!(
+            r.try_touch(4096).unwrap_err(),
+            UvmError::OutOfRange {
+                offset: 4096,
+                len_bytes: 4096
+            }
+        );
+        assert!(r.try_touch(0).is_ok());
+    }
+
+    #[test]
+    fn evict_storm_charges_without_disturbing_residency() {
+        use faults::{FaultConfig, RATE_ONE};
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20).unwrap();
+        let _ = r.touch(0); // fault in page 0
+        let fc = FaultConfig::disabled()
+            .with_seed(5)
+            .with_rate(FaultSite::UvmEvictStorm, RATE_ONE);
+        r.set_faults(FaultInjector::new(&fc, "test"));
+        // Every resident touch now pays a re-migration...
+        assert_eq!(r.touch(0), Touch::Fault { cycles: 100 + 150 });
+        let s = r.stats();
+        assert_eq!(s.injected_evictions, 1);
+        assert_eq!(s.injected_cycles, 250);
+        // ...but the zero-fault counters and residency are untouched.
+        assert_eq!((s.faults, s.evictions), (1, 0));
+        assert_eq!(r.resident_pages(), 1);
+        assert_eq!(r.fault_stats().get(FaultSite::UvmEvictStorm), 1);
+    }
+
+    #[test]
+    fn injected_oom_cuts_prefault_short() {
+        use faults::{FaultConfig, RATE_ONE};
+        let mut r = ManagedRegion::new(cfg(), 1 << 20, 1 << 20).unwrap();
+        let fc = FaultConfig::disabled()
+            .with_seed(5)
+            .with_rate(FaultSite::UvmDeviceOom, RATE_ONE);
+        r.set_faults(FaultInjector::new(&fc, "test"));
+        r.prefault(u64::MAX);
+        let s = r.stats();
+        assert_eq!(s.prefaulted_pages, 0);
+        assert_eq!(s.injected_oom_denials, 1);
+        // The denied pages demand-fault later instead.
+        assert!(matches!(r.touch(0), Touch::Fault { .. }));
     }
 }

@@ -14,7 +14,7 @@ fn cfg() -> UvmConfig {
 
 #[test]
 fn zero_length_region_is_inert() {
-    let mut r = ManagedRegion::new(cfg(), 0, 1 << 20);
+    let mut r = ManagedRegion::new(cfg(), 0, 1 << 20).unwrap();
     assert_eq!(r.len_bytes(), 0);
     assert_eq!(r.total_pages(), 0);
     assert_eq!(r.resident_pages(), 0);
@@ -27,7 +27,7 @@ fn zero_length_region_is_inert() {
 #[test]
 #[should_panic(expected = "beyond region")]
 fn touching_a_zero_length_region_panics() {
-    let mut r = ManagedRegion::new(cfg(), 0, 1 << 20);
+    let mut r = ManagedRegion::new(cfg(), 0, 1 << 20).unwrap();
     let _ = r.touch(0);
 }
 
@@ -35,7 +35,7 @@ fn touching_a_zero_length_region_panics() {
 fn page_boundary_addresses_resolve_to_the_right_page() {
     let page = cfg().page_bytes;
     // Two full pages plus one byte: three pages total.
-    let mut r = ManagedRegion::new(cfg(), 2 * page + 1, 1 << 30);
+    let mut r = ManagedRegion::new(cfg(), 2 * page + 1, 1 << 30).unwrap();
     assert_eq!(r.total_pages(), 3);
 
     // Last byte of page 0 and first byte of page 1 are different pages.
@@ -58,14 +58,14 @@ fn page_boundary_addresses_resolve_to_the_right_page() {
 #[should_panic(expected = "beyond region")]
 fn first_byte_past_the_region_panics() {
     let page = cfg().page_bytes;
-    let mut r = ManagedRegion::new(cfg(), 2 * page + 1, 1 << 30);
+    let mut r = ManagedRegion::new(cfg(), 2 * page + 1, 1 << 30).unwrap();
     let _ = r.touch(2 * page + 1);
 }
 
 #[test]
 fn prefault_is_capped_by_request_region_and_budget() {
     let page = cfg().page_bytes;
-    let mut r = ManagedRegion::new(cfg(), 10 * page, 1 << 30);
+    let mut r = ManagedRegion::new(cfg(), 10 * page, 1 << 30).unwrap();
     // Request covers 2.5 pages → rounds up to 3.
     let cycles = r.prefault(2 * page + page / 2);
     assert_eq!(r.resident_pages(), 3);
@@ -74,7 +74,7 @@ fn prefault_is_capped_by_request_region_and_budget() {
     assert_eq!(r.prefault(3 * page), 0);
 
     // A tiny budget caps the resident set regardless of the request.
-    let mut tight = ManagedRegion::new(cfg(), 10 * page, 2 * page);
+    let mut tight = ManagedRegion::new(cfg(), 10 * page, 2 * page).unwrap();
     let _ = tight.prefault(u64::MAX);
     assert_eq!(tight.resident_pages(), 2);
     assert_eq!(tight.stats().prefaulted_pages, 2);
@@ -83,7 +83,7 @@ fn prefault_is_capped_by_request_region_and_budget() {
 #[test]
 fn zero_budget_region_faults_remotely_forever() {
     let page = cfg().page_bytes;
-    let mut r = ManagedRegion::new(cfg(), 4 * page, 0);
+    let mut r = ManagedRegion::new(cfg(), 4 * page, 0).unwrap();
     // Every touch pays fault + evict and residency never grows.
     for _ in 0..3 {
         let t = r.touch(0);
@@ -102,7 +102,7 @@ fn zero_budget_region_faults_remotely_forever() {
 #[test]
 fn fifo_eviction_cycles_through_pages_at_the_budget_edge() {
     let page = cfg().page_bytes;
-    let mut r = ManagedRegion::new(cfg(), 4 * page, 2 * page);
+    let mut r = ManagedRegion::new(cfg(), 4 * page, 2 * page).unwrap();
     assert!(matches!(r.touch(0), Touch::Fault { .. }));
     assert!(matches!(r.touch(page), Touch::Fault { .. }));
     assert_eq!(r.resident_pages(), 2);
