@@ -10,17 +10,23 @@
 # campaigns with every fault site armed (zero panics, every degradation
 # accounted, clean mid-campaign checkpoint resume) plus the
 # accuracy-under-pressure sweep (missed-check accounting).
+# With --litmus, additionally runs the weak-memory litmus smoke: replay of
+# the pinned v2 litmus corpus (witness traces re-run on the weak machine,
+# verdicts and explanations byte-compared) plus a time-boxed random litmus
+# campaign; any unexplained divergence or replay drift fails the gate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 QUICK=0
 FUZZ=0
 CHAOS=0
+LITMUS=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
     --fuzz) FUZZ=1 ;;
     --chaos) CHAOS=1 ;;
+    --litmus) LITMUS=1 ;;
     *) echo "ci.sh: unknown flag $arg" >&2; exit 2 ;;
   esac
 done
@@ -55,6 +61,15 @@ if [[ "$CHAOS" -eq 1 ]]; then
   echo "== pressure sweep (--chaos) =="
   # Exits non-zero if any missed check is unaccounted.
   cargo run --release -p bench --bin pressure -- --no-progress
+fi
+
+if [[ "$LITMUS" -eq 1 ]]; then
+  echo "== litmus corpus replay (--litmus) =="
+  cargo run --release -p bench --bin litmus -- --corpus tests/corpus/litmus_v2.corpus --no-progress
+  echo "== litmus fuzz smoke (--litmus) =="
+  # Unlimited spec stream, hard 30 s budget; exits non-zero on any
+  # unexplained oracle/detector divergence.
+  cargo run --release -p bench --bin litmus -- --tests 0 --budget 30 --seed 42 --no-progress
 fi
 
 echo "CI OK"

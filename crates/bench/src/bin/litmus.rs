@@ -1,0 +1,283 @@
+//! Weak-memory litmus campaign: v2 litmus specs vs the relaxed-visibility
+//! oracle vs both detectors, fanned out over the work-stealing driver.
+//!
+//! ```text
+//! litmus [--tests N] [--budget SECS] [--seed S]
+//!        [--spec STR] [--corpus PATH] [--corpus-out PATH]
+//!        [--jobs N] [--serial] [--timeout-secs N] [--no-progress]
+//! ```
+//!
+//! Three modes, checked in order:
+//!
+//! - `--spec STR`    diff a single compact v2 litmus spec and print the
+//!   full report (outcome matrix size, assertion verdict, divergences).
+//! - `--corpus P`    replay a pinned litmus corpus: every entry is
+//!   re-diffed and its witness trace re-run on the weak machine; any
+//!   drift from the pinned verdicts fails the run.
+//! - campaign        generate `--tests N` random specs (default 100;
+//!   0 = unlimited, requires `--budget`) from `--seed S` (default 42),
+//!   diff each, tally explained-divergence classes, and shrink any
+//!   unexplained divergence to a 1-minimal repro. `--corpus-out P`
+//!   appends shrunk repros to a litmus corpus file.
+//!
+//! Exit code 1 on any unexplained divergence, replay failure, or DNF;
+//! 0 otherwise.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use bench::{run_jobs, DriverConfig, Job, Outcome};
+use oracle::corpus;
+use oracle::diff::{diff_litmus, generate_litmus, DiffConfig, LitmusDiffReport};
+use oracle::litmus::LitmusSpec;
+use oracle::shrink::shrink_litmus;
+
+const BATCH: usize = 32;
+
+struct Args {
+    tests: usize,
+    budget: Option<Duration>,
+    seed: u64,
+    spec: Option<String>,
+    corpus: Option<String>,
+    corpus_out: Option<String>,
+}
+
+fn parse_args(rest: Vec<String>) -> Args {
+    let mut args = Args {
+        tests: 100,
+        budget: None,
+        seed: 42,
+        spec: None,
+        corpus: None,
+        corpus_out: None,
+    };
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--tests" => {
+                args.tests = value("--tests").parse().unwrap_or_else(|_| {
+                    eprintln!("--tests expects a number");
+                    std::process::exit(2);
+                });
+            }
+            "--budget" => {
+                let secs: u64 = value("--budget").parse().unwrap_or_else(|_| {
+                    eprintln!("--budget expects seconds");
+                    std::process::exit(2);
+                });
+                args.budget = Some(Duration::from_secs(secs));
+            }
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed expects a number");
+                    std::process::exit(2);
+                });
+            }
+            "--spec" => args.spec = Some(value("--spec")),
+            "--corpus" => args.corpus = Some(value("--corpus")),
+            "--corpus-out" => args.corpus_out = Some(value("--corpus-out")),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.tests == 0 && args.budget.is_none() && args.spec.is_none() && args.corpus.is_none() {
+        eprintln!("--tests 0 (unlimited) requires --budget");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// Replay a pinned litmus corpus file; returns the process exit code.
+fn replay_corpus(path: &str, cfg: &DiffConfig, driver: &DriverConfig) -> i32 {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read corpus {path}: {e}");
+        std::process::exit(2);
+    });
+    let entries = corpus::parse_litmus(&text).unwrap_or_else(|e| {
+        eprintln!("corpus {path} unreadable: {e}");
+        std::process::exit(2);
+    });
+    let total = entries.len();
+    let labels: Vec<String> = entries
+        .iter()
+        .map(|e| e.spec.to_compact_string())
+        .collect();
+    let jobs: Vec<Job<Result<(), String>>> = entries
+        .into_iter()
+        .map(|entry| {
+            let cfg = cfg.clone();
+            Job::custom(entry.spec.to_compact_string(), move || {
+                corpus::verify_litmus(&entry, &cfg)
+            })
+        })
+        .collect();
+    let mut failures = 0usize;
+    // `run_jobs` returns outcomes in submission order, so `labels[i]`
+    // names the entry behind outcome `i`.
+    for (i, outcome) in run_jobs(jobs, driver).into_iter().enumerate() {
+        let label = &labels[i];
+        match outcome {
+            Outcome::Done { value: Err(e), .. } => {
+                eprintln!("REPLAY FAILED {label}: {e}");
+                failures += 1;
+            }
+            Outcome::Done { .. } => {}
+            Outcome::Panicked { message, .. } => {
+                eprintln!("REPLAY PANICKED {label}: {message}");
+                failures += 1;
+            }
+            Outcome::TimedOut { .. } => {
+                eprintln!("REPLAY TIMED OUT {label}");
+                failures += 1;
+            }
+            Outcome::Faulted { message, .. } => {
+                eprintln!("REPLAY FAULTED {label}: {message}");
+                failures += 1;
+            }
+        }
+    }
+    println!("litmus corpus: {}/{total} entries verified", total - failures);
+    i32::from(failures > 0)
+}
+
+fn main() {
+    let (driver, rest) = DriverConfig::from_env();
+    let args = parse_args(rest);
+    let cfg = DiffConfig::default();
+
+    // Single-spec repro mode.
+    if let Some(s) = &args.spec {
+        let spec = LitmusSpec::parse(s).unwrap_or_else(|e| {
+            eprintln!("bad --spec: {e}");
+            std::process::exit(2);
+        });
+        let r = diff_litmus(&spec, &cfg);
+        println!("{}", r.describe());
+        std::process::exit(i32::from(!r.unexplained().is_empty()));
+    }
+
+    // Pinned-corpus replay mode.
+    if let Some(path) = &args.corpus {
+        std::process::exit(replay_corpus(path, &cfg, &driver));
+    }
+
+    // Fuzz campaign.
+    let started = Instant::now();
+    let mut stream_seed = args.seed;
+    let mut done = 0usize;
+    let mut racy = 0usize;
+    let mut weak_anomalies = 0usize;
+    let mut explained: BTreeMap<String, usize> = BTreeMap::new();
+    let mut unexplained: Vec<LitmusDiffReport> = Vec::new();
+    let mut dnf = 0usize;
+
+    while args.tests == 0 || done < args.tests {
+        if let Some(b) = args.budget {
+            if started.elapsed() >= b {
+                break;
+            }
+        }
+        let batch = if args.tests == 0 {
+            BATCH
+        } else {
+            BATCH.min(args.tests - done)
+        };
+        // A fresh generator seed per batch keeps the stream deterministic
+        // for a given campaign seed regardless of batch boundaries.
+        let specs = generate_litmus(batch, stream_seed);
+        stream_seed = stream_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+
+        let jobs: Vec<Job<LitmusDiffReport>> = specs
+            .into_iter()
+            .map(|spec| {
+                let cfg = cfg.clone();
+                Job::custom(spec.to_compact_string(), move || diff_litmus(&spec, &cfg))
+            })
+            .collect();
+        for outcome in run_jobs(jobs, &driver) {
+            match outcome {
+                Outcome::Done { value, .. } => {
+                    racy += usize::from(value.oracle.racy);
+                    weak_anomalies += usize::from(
+                        value
+                            .oracle
+                            .assertion
+                            .as_ref()
+                            .is_some_and(|a| a.reachable && !a.sc_reachable),
+                    );
+                    for d in &value.divergences {
+                        if let Some(reason) = d.explanation {
+                            *explained.entry(reason.to_string()).or_insert(0) += 1;
+                        }
+                    }
+                    if !value.unexplained().is_empty() {
+                        unexplained.push(value);
+                    }
+                }
+                Outcome::Panicked { message, .. } => {
+                    eprintln!("litmus job panicked: {message}");
+                    dnf += 1;
+                }
+                Outcome::TimedOut { .. } => dnf += 1,
+                Outcome::Faulted { message, .. } => {
+                    eprintln!("litmus job faulted: {message}");
+                    dnf += 1;
+                }
+            }
+            done += 1;
+        }
+    }
+
+    println!(
+        "litmus: {done} specs in {:.1}s ({racy} racy, {} clean, \
+         {weak_anomalies} weak-only assertion violations, {dnf} DNF)",
+        started.elapsed().as_secs_f64(),
+        done - racy - dnf,
+    );
+    for (reason, n) in &explained {
+        println!("  explained divergence: {reason} x{n}");
+    }
+
+    if unexplained.is_empty() && dnf == 0 {
+        println!("no unexplained divergences");
+        return;
+    }
+
+    let mut entries = Vec::new();
+    for r in &unexplained {
+        let small = shrink_litmus(&r.spec, |s| !diff_litmus(s, &cfg).unexplained().is_empty());
+        let shrunk = diff_litmus(&small, &cfg);
+        eprintln!("UNEXPLAINED: {}", r.describe());
+        eprintln!("  shrunk repro: {}", shrunk.describe());
+        eprintln!("  rerun: litmus --spec '{}'", small.to_compact_string());
+        entries.push(corpus::entry_for_litmus(&small, &cfg));
+    }
+    if let Some(path) = &args.corpus_out {
+        let text = match std::fs::read_to_string(path) {
+            Ok(existing) => {
+                let mut all = corpus::parse_litmus(&existing).unwrap_or_else(|e| {
+                    eprintln!("existing corpus {path} unreadable: {e}");
+                    std::process::exit(2);
+                });
+                all.extend(entries);
+                corpus::format_litmus(&all)
+            }
+            Err(_) => corpus::format_litmus(&entries),
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write corpus {path}: {e}");
+        } else {
+            eprintln!("shrunk repros appended to {path}");
+        }
+    }
+    std::process::exit(1);
+}

@@ -157,6 +157,13 @@ pub trait Hook {
     /// Called before each dynamic global-memory access.
     fn on_mem_access(&mut self, _access: &MemAccess<'_>, _clock: &mut Clock) {}
 
+    /// Called after each dynamic global-memory *load* with the value the
+    /// lane observed. Only fired when `GpuConfig::record_load_values` (or
+    /// weak visibility, which implies it) is enabled — the litmus oracle
+    /// needs observed values to evaluate final-state assertions, but the
+    /// production detectors are value-blind and skip the callback cost.
+    fn on_load_value(&mut self, _block_id: u32, _tid_in_block: u32, _addr: u32, _pc: usize, _value: u32) {}
+
     /// Called on each dynamic synchronization operation.
     fn on_sync(&mut self, _event: &SyncEvent<'_>, _clock: &mut Clock) {}
 }

@@ -64,6 +64,14 @@ pub struct GpuConfig {
     /// Fault-injection plane (disabled by default; a disabled config is
     /// behaviour-identical to a build without the plane).
     pub faults: FaultConfig,
+    /// Weak-visibility memory (litmus mode): non-volatile global loads may
+    /// observe any legal candidate value, with the attached scheduler's
+    /// `choose_visibility` picking among them. Off by default — the strong
+    /// model is the production behaviour and the golden tests pin it.
+    pub weak_visibility: bool,
+    /// Fire [`Hook::on_load_value`] for every global load. Implied by
+    /// `weak_visibility`; off by default (detectors are value-blind).
+    pub record_load_values: bool,
 }
 
 impl Default for GpuConfig {
@@ -80,6 +88,8 @@ impl Default for GpuConfig {
             cost: CostModel::default(),
             profile_phases: false,
             faults: FaultConfig::disabled(),
+            weak_visibility: false,
+            record_load_values: false,
         }
     }
 }
@@ -220,7 +230,10 @@ impl Gpu {
                 reason: "warp_slots_per_sm must be positive".into(),
             });
         }
-        let mem = GlobalMem::new(cfg.mem_words, cfg.num_sms);
+        let mut mem = GlobalMem::new(cfg.mem_words, cfg.num_sms);
+        if cfg.weak_visibility {
+            mem.enable_weak();
+        }
         let mut clock = Clock::new();
         clock.set_profiling(cfg.profile_phases);
         let faults = FaultInjector::new(&cfg.faults, "gpu-launch");
@@ -451,6 +464,10 @@ impl Gpu {
         let mut pcs_scratch: Vec<usize> = Vec::with_capacity(WARP_SIZE);
         let mut lanes_scratch: Vec<usize> = Vec::with_capacity(WARP_SIZE);
         let warp_choice = sched.wants_warp_choice();
+        // Eager-invisible mode (partial-order reduction): instructions that
+        // cannot touch memory run without consulting the scheduler, so only
+        // memory operations branch a systematic enumeration.
+        let eager = sched.wants_eager_invisible();
         let mut runnable_scratch: Vec<usize> = if warp_choice {
             Vec::with_capacity(warp_list.len())
         } else {
@@ -477,7 +494,24 @@ impl Gpu {
                     }
                 }
                 if !runnable_scratch.is_empty() {
-                    let pick = if runnable_scratch.len() == 1 {
+                    // Eager mode: a warp with a runnable lane at an
+                    // invisible instruction runs first, deterministically
+                    // and without a scheduling decision — such transitions
+                    // commute with every other enabled transition.
+                    let eager_pick = if eager {
+                        runnable_scratch
+                            .iter()
+                            .copied()
+                            .find(|&idx| {
+                                let (bi, wi) = warp_list[idx];
+                                warp_has_invisible_runnable(&blocks[bi], wi, &run.code)
+                            })
+                    } else {
+                        None
+                    };
+                    let pick = if let Some(p) = eager_pick {
+                        p
+                    } else if runnable_scratch.len() == 1 {
                         runnable_scratch[0]
                     } else {
                         let i = sched.choose_warp(runnable_scratch.len());
@@ -489,11 +523,13 @@ impl Gpu {
                         wi,
                         self.cfg.mode,
                         sched,
+                        eager,
+                        &run.code,
                         &mut pcs_scratch,
                         &mut lanes_scratch,
                     );
                     debug_assert!(ok, "chosen warp lost its runnable lanes");
-                    self.exec_split(&mut blocks, bi, wi, &lanes_scratch, &mut run, hook)?;
+                    self.exec_split(&mut blocks, bi, wi, &lanes_scratch, &mut run, hook, sched)?;
                     executed = true;
                 }
             } else {
@@ -506,11 +542,13 @@ impl Gpu {
                         wi,
                         self.cfg.mode,
                         sched,
+                        eager,
+                        &run.code,
                         &mut pcs_scratch,
                         &mut lanes_scratch,
                     ) {
                         cursor = (cursor + scan + 1) % warp_list.len();
-                        self.exec_split(&mut blocks, bi, wi, &lanes_scratch, &mut run, hook)?;
+                        self.exec_split(&mut blocks, bi, wi, &lanes_scratch, &mut run, hook, sched)?;
                         executed = true;
                         break;
                     }
@@ -535,6 +573,7 @@ impl Gpu {
     }
 
     #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_arguments)]
     fn exec_split(
         &mut self,
         blocks: &mut [Block],
@@ -543,6 +582,7 @@ impl Gpu {
         lanes: &[usize],
         run: &mut RunState<'_>,
         hook: &mut dyn Hook,
+        sched: &mut dyn Scheduler,
     ) -> Result<(), SimError> {
         let kernel = run.kernel;
         let block = &mut blocks[bi];
@@ -722,11 +762,33 @@ impl Gpu {
                         volatile,
                         hook,
                     );
-                    for (i, &l) in lanes.iter().enumerate() {
-                        let v = self.mem.load(sm, run.lane_scratch[i].addr, volatile)?;
-                        let t = &mut thread!(l);
-                        t.set(rd, v);
-                        t.pc = pc + 1;
+                    if self.cfg.weak_visibility && !volatile {
+                        for (i, &l) in lanes.iter().enumerate() {
+                            let a = run.lane_scratch[i].addr;
+                            let v = self
+                                .mem
+                                .load_weak(sm, a, &mut |n| sched.choose_visibility(n))?;
+                            hook.on_load_value(block_id, (warp_base + l) as u32, a, pc, v);
+                            let t = &mut thread!(l);
+                            t.set(rd, v);
+                            t.pc = pc + 1;
+                        }
+                    } else if self.cfg.record_load_values || self.cfg.weak_visibility {
+                        for (i, &l) in lanes.iter().enumerate() {
+                            let a = run.lane_scratch[i].addr;
+                            let v = self.mem.load(sm, a, volatile)?;
+                            hook.on_load_value(block_id, (warp_base + l) as u32, a, pc, v);
+                            let t = &mut thread!(l);
+                            t.set(rd, v);
+                            t.pc = pc + 1;
+                        }
+                    } else {
+                        for (i, &l) in lanes.iter().enumerate() {
+                            let v = self.mem.load(sm, run.lane_scratch[i].addr, volatile)?;
+                            let t = &mut thread!(l);
+                            t.set(rd, v);
+                            t.pc = pc + 1;
+                        }
                     }
                 }
             },
@@ -1036,17 +1098,46 @@ fn warp_has_runnable(block: &Block, wi: usize) -> bool {
         .any(|t| t.status == Status::Ready)
 }
 
+/// Whether an instruction can affect or observe memory shared between
+/// threads. Everything else (ALU, branches, moves, barrier arrivals,
+/// exits) commutes with every concurrently enabled transition: it touches
+/// only the executing thread's private state, or — for barrier arrivals
+/// and exits — monotonically *enables* other threads without ever
+/// disabling one. Eager-invisible scheduling (the litmus oracle's partial-
+/// order reduction) therefore executes invisible instructions first,
+/// without consulting the scheduler, and provably visits every
+/// distinguishable outcome the full interleaving space contains.
+fn instr_is_visible(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Ld { .. } | Instr::St { .. } | Instr::Atom { .. } | Instr::Membar { .. }
+    )
+}
+
+/// Whether warp `wi` has a runnable lane whose next instruction is
+/// invisible (eligible for eager execution).
+fn warp_has_invisible_runnable(block: &Block, wi: usize, code: &[Decoded]) -> bool {
+    let warp_base = wi * WARP_SIZE;
+    let end = (warp_base + WARP_SIZE).min(block.threads.len());
+    block.threads[warp_base..end]
+        .iter()
+        .any(|t| t.status == Status::Ready && !instr_is_visible(&code[t.pc].instr))
+}
+
 /// Chooses the lanes (indices within the warp) to execute next for warp
 /// `wi` of `block` into `out`; returns false if no lane is runnable. The
 /// caller-owned `pcs`/`out` scratch buffers make this allocation-free.
 /// All non-forced choices are delegated to `sched`; the scheduler is not
 /// consulted at all when the warp has no runnable lane, so the production
 /// round-robin scan consumes no randomness while skipping idle warps.
+#[allow(clippy::too_many_arguments)]
 fn pick_split(
     block: &Block,
     wi: usize,
     mode: ExecMode,
     sched: &mut dyn Scheduler,
+    eager: bool,
+    code: &[Decoded],
     pcs: &mut Vec<usize>,
     out: &mut Vec<usize>,
 ) -> bool {
@@ -1072,15 +1163,29 @@ fn pick_split(
             pcs.extend(out.iter().map(|&l| block.threads[warp_base + l].pc));
             pcs.sort_unstable();
             pcs.dedup();
-            // Consulted even for a single candidate: the production
-            // scheduler historically drew from its RNG here, and the
-            // byte-identity contract preserves every draw.
-            pcs[sched.choose_pc(pcs.len()).min(pcs.len() - 1)]
+            // Eager mode: the lowest invisible PC runs deterministically —
+            // no decision, no branch in the enumeration tree.
+            let eager_pc = if eager {
+                pcs.iter()
+                    .copied()
+                    .find(|&p| !instr_is_visible(&code[p].instr))
+            } else {
+                None
+            };
+            match eager_pc {
+                Some(p) => p,
+                // Consulted even for a single candidate: the production
+                // scheduler historically drew from its RNG here, and the
+                // byte-identity contract preserves every draw.
+                None => pcs[sched.choose_pc(pcs.len()).min(pcs.len() - 1)],
+            }
         }
     };
     out.retain(|&l| block.threads[warp_base + l].pc == chosen_pc);
-    // Under ITS, converged threads may split apart at any time.
-    if mode == ExecMode::Its && out.len() > 1 {
+    // Under ITS, converged threads may split apart at any time. Eager mode
+    // skips subdivision: the oracle's completeness argument covers intact
+    // splits only, and skipping keeps eager traces free of filler tokens.
+    if mode == ExecMode::Its && out.len() > 1 && !eager {
         if let Some((start, keep)) = sched.choose_subdivision(out.len()) {
             let keep = keep.clamp(1, out.len() - 1);
             let start = start.min(out.len() - keep);

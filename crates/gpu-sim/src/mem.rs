@@ -25,6 +25,31 @@
 //!
 //! Addresses are byte addresses; all traffic is word (4-byte) sized and
 //! aligned, matching the 4-byte granularity of iGUARD's memory metadata.
+//!
+//! # Weak visibility (litmus mode)
+//!
+//! The hierarchy above is *deterministic*: a load observes exactly one
+//! value given the schedule. Real scoped GPU memory is weaker — which of
+//! several in-flight writes a load observes is itself a degree of freedom
+//! (store buffering, non-multi-copy-atomic propagation). With
+//! [`GlobalMem::enable_weak`] the memory additionally tracks a global
+//! version per write and a per-SM per-word *read floor*, and
+//! [`GlobalMem::load_weak`] exposes every value the load is allowed to
+//! observe as an explicit candidate list:
+//!
+//! - candidate 0 is always the legacy value (local line, else L2), so a
+//!   chooser that always picks 0 reproduces the strong model exactly;
+//! - the L2 copy and other SMs' not-yet-written-back dirty lines are
+//!   additional candidates (early propagation — the non-multi-copy-atomic
+//!   behaviour IRIW probes);
+//! - a candidate is only offered if its version is ≥ this SM's read floor
+//!   for the word, and a chosen read raises the floor — per-location
+//!   coherence: a thread never observes a word going *backwards*;
+//! - a device fence writes back a dirty line only if it is not older than
+//!   the L2 copy (write serialization at L2).
+//!
+//! The scheduler's `choose_visibility` picks among the candidates, which is
+//! what lets the oracle enumerate visibility orders alongside schedules.
 
 use crate::error::SimError;
 use crate::ir::{AtomOp, Scope};
@@ -52,6 +77,14 @@ struct SmL1 {
     /// Words that transitioned to dirty since the last device fence (may
     /// hold duplicates/stale entries; validity is re-checked at flush).
     dirty_list: Vec<u32>,
+    /// Weak mode only (empty otherwise): global version of the write each
+    /// valid line holds. Not epoch-gated — only read through valid lines.
+    ver: Vec<u32>,
+    /// Weak mode only: per-word read floor (minimum version a load on this
+    /// SM may still observe). Persists across fences.
+    floor: Vec<u32>,
+    /// Whether the version/floor arrays are maintained.
+    weak: bool,
 }
 
 impl SmL1 {
@@ -62,6 +95,9 @@ impl SmL1 {
             value: Vec::new(),
             dirty: Vec::new(),
             dirty_list: Vec::new(),
+            ver: Vec::new(),
+            floor: Vec::new(),
+            weak: false,
         }
     }
 
@@ -78,6 +114,10 @@ impl SmL1 {
             self.slot_epoch.resize(n, 0);
             self.value.resize(n, 0);
             self.dirty.resize(n, false);
+            if self.weak {
+                self.ver.resize(n, 0);
+                self.floor.resize(n, 0);
+            }
         }
     }
 
@@ -111,12 +151,22 @@ impl SmL1 {
         }
     }
 
-    /// Writes back every dirty line and drops all lines.
-    fn flush(&mut self, l2: &mut [u32]) {
+    /// Writes back every dirty line and drops all lines. In weak mode a
+    /// dirty line only lands in L2 if it is not older than the L2 copy
+    /// (write serialization: L2 never goes backwards in version order).
+    fn flush(&mut self, l2: &mut [u32], mut l2_ver: Option<&mut [u32]>) {
         for i in 0..self.dirty_list.len() {
             let w = self.dirty_list[i] as usize;
             if self.slot_epoch[w] == self.epoch && self.dirty[w] {
-                l2[w] = self.value[w];
+                match l2_ver.as_deref_mut() {
+                    Some(lv) => {
+                        if self.ver[w] >= lv[w] {
+                            l2[w] = self.value[w];
+                            lv[w] = self.ver[w];
+                        }
+                    }
+                    None => l2[w] = self.value[w],
+                }
             }
         }
         self.dirty_list.clear();
@@ -130,11 +180,40 @@ impl SmL1 {
     }
 }
 
+/// Weak-mode bookkeeping: a global write-version counter and the version
+/// of each L2 word.
+#[derive(Debug)]
+struct WeakState {
+    next_ver: u32,
+    l2_ver: Vec<u32>,
+}
+
+impl WeakState {
+    fn bump(&mut self) -> u32 {
+        self.next_ver += 1;
+        self.next_ver
+    }
+}
+
+/// Source of one weak-load visibility candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CandSource {
+    /// This SM's own (clean) line — the legacy value, a no-op to choose.
+    Local,
+    /// The L2 copy — choosing it refills the local line (legacy fill).
+    L2,
+    /// Another SM's not-yet-written-back dirty line (early propagation).
+    Remote,
+}
+
 /// The global-memory hierarchy: one L2 array plus one L1 per SM.
 #[derive(Debug)]
 pub struct GlobalMem {
     l2: Vec<u32>,
     l1: Vec<SmL1>,
+    /// Weak-visibility bookkeeping; `None` keeps the strong model with
+    /// zero overhead on the hot paths.
+    weak: Option<WeakState>,
 }
 
 impl GlobalMem {
@@ -145,7 +224,30 @@ impl GlobalMem {
         GlobalMem {
             l2: vec![0; words],
             l1: (0..num_sms).map(|_| SmL1::new()).collect(),
+            weak: None,
         }
+    }
+
+    /// Switches on weak-visibility bookkeeping. Must be called before any
+    /// traffic (the `Gpu` does this at construction when configured).
+    pub fn enable_weak(&mut self) {
+        let words = self.l2.len();
+        for l1 in &mut self.l1 {
+            l1.weak = true;
+            let n = l1.slot_epoch.len();
+            l1.ver.resize(n, 0);
+            l1.floor.resize(n, 0);
+        }
+        self.weak = Some(WeakState {
+            next_ver: 0,
+            l2_ver: vec![0; words],
+        });
+    }
+
+    /// Whether weak-visibility bookkeeping is active.
+    #[must_use]
+    pub fn weak_enabled(&self) -> bool {
+        self.weak.is_some()
     }
 
     /// Total words of backing storage.
@@ -180,6 +282,12 @@ impl GlobalMem {
                 }
                 self.l1[sm].remove(w);
             }
+            if let Some(wk) = &self.weak {
+                let lv = wk.l2_ver[w];
+                let l1 = &mut self.l1[sm];
+                l1.ensure(w);
+                l1.floor[w] = l1.floor[w].max(lv);
+            }
             return Ok(self.l2[w]);
         }
         if let Some(line) = self.l1[sm].get(w) {
@@ -208,8 +316,16 @@ impl GlobalMem {
         if volatile {
             self.l1[sm].remove(w);
             self.l2[w] = value;
+            if let Some(wk) = &mut self.weak {
+                let v = wk.bump();
+                wk.l2_ver[w] = v;
+            }
         } else {
             self.l1[sm].insert(w, Line { value, dirty: true });
+            if let Some(wk) = &mut self.weak {
+                let v = wk.bump();
+                self.l1[sm].ver[w] = v;
+            }
         }
         Ok(())
     }
@@ -221,7 +337,8 @@ impl GlobalMem {
     /// immediate, so only ordering (tracked by the detector) is affected.
     pub fn fence(&mut self, sm: usize, scope: Scope) {
         if scope == Scope::Device {
-            self.l1[sm].flush(&mut self.l2);
+            let GlobalMem { l2, l1, weak } = self;
+            l1[sm].flush(l2, weak.as_mut().map(|wk| wk.l2_ver.as_mut_slice()));
         }
     }
 
@@ -241,9 +358,19 @@ impl GlobalMem {
         match scope {
             Scope::Block => {
                 // RMW on the SM-local view: atomic w.r.t. this SM only.
-                let old = match self.l1[sm].get(w) {
-                    Some(line) => line.value,
-                    None => self.l2[w],
+                let (old, old_ver) = match self.l1[sm].get(w) {
+                    Some(line) => {
+                        let v = if self.weak.is_some() {
+                            self.l1[sm].ver[w]
+                        } else {
+                            0
+                        };
+                        (line.value, v)
+                    }
+                    None => (
+                        self.l2[w],
+                        self.weak.as_ref().map_or(0, |wk| wk.l2_ver[w]),
+                    ),
                 };
                 let new = apply_atom(op, old, src, cmp);
                 self.l1[sm].insert(
@@ -253,6 +380,13 @@ impl GlobalMem {
                         dirty: true,
                     },
                 );
+                if let Some(wk) = &mut self.weak {
+                    let v = wk.bump();
+                    let l1 = &mut self.l1[sm];
+                    l1.ver[w] = v;
+                    // The RMW read the old value: coherence floor rises.
+                    l1.floor[w] = l1.floor[w].max(old_ver);
+                }
                 Ok(old)
             }
             Scope::Device => {
@@ -260,15 +394,115 @@ impl GlobalMem {
                 // keep a local copy (atomics bypass L1 on real hardware).
                 if let Some(line) = self.l1[sm].get(w) {
                     if line.dirty {
-                        self.l2[w] = line.value;
+                        match &mut self.weak {
+                            Some(wk) => {
+                                let ver = self.l1[sm].ver[w];
+                                if ver >= wk.l2_ver[w] {
+                                    self.l2[w] = line.value;
+                                    wk.l2_ver[w] = ver;
+                                }
+                            }
+                            None => self.l2[w] = line.value,
+                        }
                     }
                     self.l1[sm].remove(w);
                 }
                 let old = self.l2[w];
                 self.l2[w] = apply_atom(op, old, src, cmp);
+                if let Some(wk) = &mut self.weak {
+                    let v = wk.bump();
+                    wk.l2_ver[w] = v;
+                    let l1 = &mut self.l1[sm];
+                    l1.ensure(w);
+                    l1.floor[w] = l1.floor[w].max(v);
+                }
                 Ok(old)
             }
         }
+    }
+
+    /// Weak-visibility word load: collects every value the load may
+    /// observe, asks `choose` to pick one when more than one is allowed,
+    /// applies the chosen candidate's cache effect, and raises the read
+    /// floor. Requires [`GlobalMem::enable_weak`]; candidate 0 is the
+    /// legacy value, so `choose = |_| 0` reproduces [`GlobalMem::load`].
+    pub fn load_weak(
+        &mut self,
+        sm: usize,
+        addr: u32,
+        choose: &mut dyn FnMut(usize) -> usize,
+    ) -> Result<u32, SimError> {
+        let w = self.word_index(addr)?;
+        assert!(self.weak.is_some(), "load_weak requires enable_weak()");
+        self.l1[sm].ensure(w);
+        let floor = self.l1[sm].floor[w];
+
+        // This SM's own dirty line is its program-order-latest write: no
+        // other value may legally be observed.
+        if let Some(line) = self.l1[sm].get(w) {
+            if line.dirty {
+                let v = self.l1[sm].ver[w];
+                self.l1[sm].floor[w] = floor.max(v);
+                return Ok(line.value);
+            }
+        }
+
+        // Candidates in legacy-first order, deduplicated by value (two
+        // observable copies holding the same value are indistinguishable,
+        // so offering both would only pad the enumeration).
+        let mut cands: Vec<(u32, u32, CandSource)> = Vec::new();
+        if let Some(line) = self.l1[sm].get(w) {
+            let v = self.l1[sm].ver[w];
+            if v >= floor {
+                cands.push((line.value, v, CandSource::Local));
+            }
+        }
+        let l2v = self.weak.as_ref().unwrap().l2_ver[w];
+        if l2v >= floor && !cands.iter().any(|c| c.0 == self.l2[w]) {
+            cands.push((self.l2[w], l2v, CandSource::L2));
+        }
+        for r in 0..self.l1.len() {
+            if r == sm {
+                continue;
+            }
+            if let Some(line) = self.l1[r].get(w) {
+                if line.dirty {
+                    let v = self.l1[r].ver[w];
+                    if v >= floor && !cands.iter().any(|c| c.0 == line.value) {
+                        cands.push((line.value, v, CandSource::Remote));
+                    }
+                }
+            }
+        }
+        // The floor's source write is always still observable (it lives in
+        // a dirty line or was serialized into L2 at version ≥ floor), so
+        // the candidate list cannot be empty; fall back to L2 defensively.
+        let (value, ver, source) = if cands.is_empty() {
+            debug_assert!(false, "weak load found no candidate");
+            (self.l2[w], l2v, CandSource::L2)
+        } else if cands.len() == 1 {
+            cands[0]
+        } else {
+            cands[choose(cands.len()).min(cands.len() - 1)]
+        };
+        match source {
+            CandSource::Local => {}
+            CandSource::L2 | CandSource::Remote => {
+                // Cache the observed copy locally (clean), as the legacy
+                // fill does; a snooped copy is cached the same way.
+                self.l1[sm].insert(
+                    w,
+                    Line {
+                        value,
+                        dirty: false,
+                    },
+                );
+                self.l1[sm].ver[w] = ver;
+            }
+        }
+        let l1 = &mut self.l1[sm];
+        l1.floor[w] = l1.floor[w].max(ver);
+        Ok(value)
     }
 
     /// Host-side read of the coherent (L2) value, used to seed inputs and
@@ -282,6 +516,10 @@ impl GlobalMem {
     pub fn write_coherent(&mut self, addr: u32, value: u32) {
         let w = (addr / 4) as usize;
         self.l2[w] = value;
+        if let Some(wk) = &mut self.weak {
+            let v = wk.bump();
+            wk.l2_ver[w] = v;
+        }
         for l1 in &mut self.l1 {
             l1.remove(w);
         }
@@ -484,5 +722,124 @@ mod tests {
         assert_eq!(m.load(0, 8, false).unwrap(), 0); // cache clean 0 on SM0
         m.write_coherent(8, 5);
         assert_eq!(m.load(0, 8, false).unwrap(), 5);
+    }
+
+    // ---- weak-visibility mode ----
+
+    fn weak_mem() -> GlobalMem {
+        let mut m = GlobalMem::new(64, 4);
+        m.enable_weak();
+        m
+    }
+
+    /// Runs a weak load forced to candidate `pick`, returning the value
+    /// and the candidate count the chooser saw (0 if not consulted).
+    fn weak_load(m: &mut GlobalMem, sm: usize, addr: u32, pick: usize) -> (u32, usize) {
+        let mut seen = 0;
+        let v = m
+            .load_weak(sm, addr, &mut |n| {
+                seen = n;
+                pick
+            })
+            .unwrap();
+        (v, seen)
+    }
+
+    #[test]
+    fn weak_candidate_zero_reproduces_strong_model() {
+        // Mirror `stale_clean_line_persists_until_fence` with choice 0.
+        let mut m = weak_mem();
+        assert_eq!(weak_load(&mut m, 1, 8, 0).0, 0);
+        m.store(0, 8, 7, false).unwrap();
+        m.fence(0, Scope::Device);
+        assert_eq!(weak_load(&mut m, 1, 8, 0).0, 0, "stale clean line wins");
+        m.fence(1, Scope::Device);
+        assert_eq!(weak_load(&mut m, 1, 8, 0).0, 7);
+    }
+
+    #[test]
+    fn weak_load_offers_remote_dirty_line() {
+        // SM0's unfenced store is observable early (non-multi-copy-atomic
+        // propagation) but never forced.
+        let mut m = weak_mem();
+        m.store(0, 8, 42, false).unwrap();
+        let (v, n) = weak_load(&mut m, 1, 8, 1);
+        assert_eq!(n, 2, "candidates: L2 (0) and SM0's dirty 42");
+        assert_eq!(v, 42);
+        // Having observed 42, SM1 may not go backwards to 0.
+        let (v, n) = weak_load(&mut m, 1, 8, 0);
+        assert_eq!((v, n), (42, 0), "floor forces the snooped value");
+    }
+
+    #[test]
+    fn weak_load_own_dirty_line_is_forced() {
+        let mut m = weak_mem();
+        m.store(1, 8, 9, false).unwrap();
+        m.store(0, 8, 5, false).unwrap(); // remote dirty, must not matter
+        let (v, n) = weak_load(&mut m, 1, 8, 1);
+        assert_eq!((v, n), (9, 0), "own write wins, chooser not consulted");
+    }
+
+    #[test]
+    fn weak_stale_reread_after_snooping_other_location() {
+        // The heart of the MP-with-writer-fence anomaly: a reader that
+        // cached x=0 clean may re-read the stale 0 even after the writer's
+        // device fence published x=1.
+        let mut m = weak_mem();
+        assert_eq!(weak_load(&mut m, 1, 8, 0).0, 0); // cache x=0 clean
+        m.store(0, 8, 1, false).unwrap();
+        m.fence(0, Scope::Device);
+        let (v, n) = weak_load(&mut m, 1, 8, 0);
+        assert_eq!(n, 2, "stale local 0 and fresh L2 1 both observable");
+        assert_eq!(v, 0);
+        // Choosing the fresh copy raises the floor past the stale line.
+        let (v, _) = weak_load(&mut m, 1, 8, 1);
+        assert_eq!(v, 1);
+        let (v, n) = weak_load(&mut m, 1, 8, 0);
+        assert_eq!((v, n), (1, 0), "coherence: no going back to 0");
+    }
+
+    #[test]
+    fn weak_fence_writeback_respects_l2_version_order() {
+        // SM0 writes first, SM1 second; flushing SM1 then SM0 must leave
+        // SM1's (newer) value in L2 — the strong model would let SM0's
+        // later flush clobber it.
+        let mut m = weak_mem();
+        m.store(0, 8, 1, false).unwrap();
+        m.store(1, 8, 2, false).unwrap();
+        m.fence(1, Scope::Device);
+        m.fence(0, Scope::Device);
+        assert_eq!(m.read_coherent(8), 2, "older write must not clobber");
+    }
+
+    #[test]
+    fn weak_volatile_load_raises_floor_to_l2() {
+        let mut m = weak_mem();
+        m.store(0, 8, 3, true).unwrap(); // volatile write-through
+        assert_eq!(m.load(1, 8, true).unwrap(), 3);
+        // Plain reads afterwards may not resurrect the initial 0.
+        let (v, n) = weak_load(&mut m, 1, 8, 0);
+        assert_eq!((v, n), (3, 0));
+    }
+
+    #[test]
+    fn weak_device_atomic_observes_and_raises_floor() {
+        let mut m = weak_mem();
+        m.store(0, 0, 4, false).unwrap();
+        m.fence(0, Scope::Device);
+        assert_eq!(m.atomic(1, 0, AtomOp::Add, 1, 0, Scope::Device).unwrap(), 4);
+        assert_eq!(m.read_coherent(0), 5);
+        let (v, n) = weak_load(&mut m, 1, 0, 0);
+        assert_eq!((v, n), (5, 0), "atomic's RMW pins the floor at latest");
+    }
+
+    #[test]
+    fn weak_block_atomic_still_loses_updates() {
+        // Weak bookkeeping must not accidentally strengthen block atomics.
+        let mut m = weak_mem();
+        assert_eq!(m.atomic(0, 0, AtomOp::Add, 1, 0, Scope::Block).unwrap(), 0);
+        assert_eq!(m.atomic(1, 0, AtomOp::Add, 1, 0, Scope::Block).unwrap(), 0);
+        m.flush_all();
+        assert_eq!(m.read_coherent(0), 1);
     }
 }

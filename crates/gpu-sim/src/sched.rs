@@ -63,6 +63,28 @@ pub trait Scheduler {
         false
     }
 
+    /// Whether the machine should execute *invisible* instructions (ALU,
+    /// branches, barrier arrivals, exits — anything that cannot affect or
+    /// observe global memory) eagerly, without consulting the scheduler.
+    /// This is the partial-order reduction behind the litmus oracle: only
+    /// interleavings of global-memory operations branch the schedule tree,
+    /// shrinking the space from a multinomial over *all* instructions to a
+    /// multinomial over the visible ones. Off by default — the v1 oracle's
+    /// completeness argument counts every instruction.
+    fn wants_eager_invisible(&self) -> bool {
+        false
+    }
+
+    /// Picks among `n > 1` distinct *visibility candidates* for a weak
+    /// load (see `GpuConfig::weak_visibility`): index 0 is always the
+    /// legacy (local-line-else-L2) value, further candidates are newer L2
+    /// or remote not-yet-written-back values. Only consulted when weak
+    /// visibility is enabled and more than one value is observable.
+    fn choose_visibility(&mut self, n: usize) -> usize {
+        let _ = n;
+        0
+    }
+
     /// Picks among `n > 1` runnable warps (index into the candidate list,
     /// ordered by flat `(block, warp)` position). Only called when
     /// [`Scheduler::wants_warp_choice`] is true.
@@ -88,6 +110,14 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
 
     fn wants_warp_choice(&self) -> bool {
         (**self).wants_warp_choice()
+    }
+
+    fn wants_eager_invisible(&self) -> bool {
+        (**self).wants_eager_invisible()
+    }
+
+    fn choose_visibility(&mut self, n: usize) -> usize {
+        (**self).choose_visibility(n)
     }
 
     fn choose_warp(&mut self, n: usize) -> usize {
@@ -150,6 +180,12 @@ impl Scheduler for RandomScheduler {
         let start = self.rng.random_range(0..=len - keep);
         Some((start, keep))
     }
+
+    fn choose_visibility(&mut self, n: usize) -> usize {
+        // Only reached in weak-visibility mode, so the extra draw cannot
+        // perturb the golden (strong-memory) RNG sequence.
+        self.rng.random_range(0..n)
+    }
 }
 
 /// One recorded scheduling decision.
@@ -165,6 +201,8 @@ pub enum Decision {
     KeepAll,
     /// Converged split subdivided to `keep` lanes starting at `start`.
     Split { start: u32, keep: u32 },
+    /// Visibility candidate chosen for a weak load.
+    Vis(u32),
 }
 
 /// A complete, replayable record of a launch's scheduling decisions.
@@ -173,6 +211,9 @@ pub struct ScheduleTrace {
     /// Whether the recording scheduler drove warp choice (replay must run
     /// the machine through the same code path to stay aligned).
     pub warp_choice: bool,
+    /// Whether the recording scheduler requested eager-invisible execution
+    /// (replay must reproduce the same reduced branching structure).
+    pub eager: bool,
     pub decisions: Vec<Decision>,
 }
 
@@ -189,6 +230,11 @@ impl ScheduleTrace {
             }
         };
         eat(u64::from(self.warp_choice));
+        // Appended only when set so every pre-existing (non-eager) trace
+        // keeps its historical digest.
+        if self.eager {
+            eat(7);
+        }
         for d in &self.decisions {
             match *d {
                 Decision::Begin => eat(1),
@@ -206,16 +252,25 @@ impl ScheduleTrace {
                     eat(u64::from(start));
                     eat(u64::from(keep));
                 }
+                Decision::Vis(i) => {
+                    eat(6);
+                    eat(u64::from(i));
+                }
             }
         }
         h
     }
 
     /// Serializes to the versioned single-line corpus form, e.g.
-    /// `v1;w;B.W1.P0.K.S1:2`.
+    /// `v1;w;B.W1.P0.K.S1:2` (`we`/`re` headers mark eager traces).
     #[must_use]
     pub fn to_compact_string(&self) -> String {
-        let mut s = String::from(if self.warp_choice { "v1;w;" } else { "v1;r;" });
+        let mut s = String::from(match (self.warp_choice, self.eager) {
+            (true, false) => "v1;w;",
+            (false, false) => "v1;r;",
+            (true, true) => "v1;we;",
+            (false, true) => "v1;re;",
+        });
         for (i, d) in self.decisions.iter().enumerate() {
             if i > 0 {
                 s.push('.');
@@ -237,6 +292,10 @@ impl ScheduleTrace {
                     s.push(':');
                     s.push_str(&keep.to_string());
                 }
+                Decision::Vis(n) => {
+                    s.push('V');
+                    s.push_str(&n.to_string());
+                }
             }
         }
         s
@@ -247,9 +306,11 @@ impl ScheduleTrace {
         let rest = s
             .strip_prefix("v1;")
             .ok_or_else(|| format!("unknown trace version in {s:?}"))?;
-        let (warp_choice, body) = match rest.split_once(';') {
-            Some(("w", b)) => (true, b),
-            Some(("r", b)) => (false, b),
+        let (warp_choice, eager, body) = match rest.split_once(';') {
+            Some(("w", b)) => (true, false, b),
+            Some(("r", b)) => (false, false, b),
+            Some(("we", b)) => (true, true, b),
+            Some(("re", b)) => (false, true, b),
             _ => return Err(format!("bad trace header in {s:?}")),
         };
         let mut decisions = Vec::new();
@@ -260,6 +321,7 @@ impl ScheduleTrace {
                     ("K", "") => Decision::KeepAll,
                     ("W", n) => Decision::Warp(n.parse().map_err(|e| format!("{tok:?}: {e}"))?),
                     ("P", n) => Decision::Pc(n.parse().map_err(|e| format!("{tok:?}: {e}"))?),
+                    ("V", n) => Decision::Vis(n.parse().map_err(|e| format!("{tok:?}: {e}"))?),
                     ("S", n) => {
                         let (a, b) = n
                             .split_once(':')
@@ -276,6 +338,7 @@ impl ScheduleTrace {
         }
         Ok(ScheduleTrace {
             warp_choice,
+            eager,
             decisions,
         })
     }
@@ -291,10 +354,12 @@ pub struct RecordingScheduler<S> {
 impl<S: Scheduler> RecordingScheduler<S> {
     pub fn new(inner: S) -> Self {
         let warp_choice = inner.wants_warp_choice();
+        let eager = inner.wants_eager_invisible();
         RecordingScheduler {
             inner,
             trace: ScheduleTrace {
                 warp_choice,
+                eager,
                 decisions: Vec::new(),
             },
         }
@@ -338,6 +403,16 @@ impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
 
     fn wants_warp_choice(&self) -> bool {
         self.inner.wants_warp_choice()
+    }
+
+    fn wants_eager_invisible(&self) -> bool {
+        self.inner.wants_eager_invisible()
+    }
+
+    fn choose_visibility(&mut self, n: usize) -> usize {
+        let i = self.inner.choose_visibility(n);
+        self.trace.decisions.push(Decision::Vis(i as u32));
+        i
     }
 
     fn choose_warp(&mut self, n: usize) -> usize {
@@ -417,6 +492,17 @@ impl Scheduler for ReplayScheduler {
         self.trace.warp_choice
     }
 
+    fn wants_eager_invisible(&self) -> bool {
+        self.trace.eager
+    }
+
+    fn choose_visibility(&mut self, n: usize) -> usize {
+        match self.next("Vis") {
+            Decision::Vis(i) if (i as usize) < n => i as usize,
+            d => panic!("replay desynchronized: expected Vis(<{n}), trace has {d:?}"),
+        }
+    }
+
     fn choose_warp(&mut self, n: usize) -> usize {
         match self.next("Warp") {
             Decision::Warp(i) if (i as usize) < n => i as usize,
@@ -473,6 +559,8 @@ pub struct EnumeratingScheduler {
     truncated: bool,
     /// Completed runs (schedules), counted by `advance`.
     schedules: u64,
+    /// Request eager-invisible execution (litmus partial-order reduction).
+    eager: bool,
 }
 
 impl EnumeratingScheduler {
@@ -486,6 +574,19 @@ impl EnumeratingScheduler {
             max_decisions,
             truncated: false,
             schedules: 0,
+            eager: false,
+        }
+    }
+
+    /// An enumerator that additionally requests eager-invisible execution,
+    /// so only global-memory operations branch the schedule tree. Used by
+    /// the litmus oracle, where multi-actor kernels would otherwise blow
+    /// up the full-instruction interleaving space.
+    #[must_use]
+    pub fn new_eager(max_decisions: usize) -> Self {
+        EnumeratingScheduler {
+            eager: true,
+            ..EnumeratingScheduler::new(max_decisions)
         }
     }
 
@@ -553,6 +654,14 @@ impl Scheduler for EnumeratingScheduler {
         true
     }
 
+    fn wants_eager_invisible(&self) -> bool {
+        self.eager
+    }
+
+    fn choose_visibility(&mut self, n: usize) -> usize {
+        self.decide(n)
+    }
+
     fn choose_warp(&mut self, n: usize) -> usize {
         self.decide(n)
     }
@@ -601,6 +710,7 @@ mod tests {
     fn trace_roundtrips_through_compact_string() {
         let t = ScheduleTrace {
             warp_choice: true,
+            eager: false,
             decisions: vec![
                 Decision::Begin,
                 Decision::Warp(3),
@@ -623,17 +733,46 @@ mod tests {
     }
 
     #[test]
+    fn eager_trace_roundtrips_and_is_digest_distinct() {
+        let t = ScheduleTrace {
+            warp_choice: true,
+            eager: true,
+            decisions: vec![Decision::Begin, Decision::Warp(1), Decision::Vis(2)],
+        };
+        let s = t.to_compact_string();
+        assert_eq!(s, "v1;we;B.W1.V2");
+        assert_eq!(ScheduleTrace::parse(&s).unwrap(), t);
+        let mut strong = t.clone();
+        strong.eager = false;
+        assert_eq!(strong.to_compact_string(), "v1;w;B.W1.V2");
+        assert_ne!(t.digest(), strong.digest());
+        assert!(ScheduleTrace::parse("v1;ew;B").is_err());
+    }
+
+    #[test]
     fn digest_distinguishes_traces() {
         let a = ScheduleTrace {
             warp_choice: false,
+            eager: false,
             decisions: vec![Decision::Pc(0), Decision::Pc(1)],
         };
         let b = ScheduleTrace {
             warp_choice: false,
+            eager: false,
             decisions: vec![Decision::Pc(1), Decision::Pc(0)],
         };
         assert_ne!(a.digest(), b.digest());
         assert_eq!(a.digest(), a.clone().digest());
+        // Pinned: the digest of a non-eager trace is the pre-litmus value —
+        // corpus witnesses recorded before this field existed must not move.
+        assert_eq!(ScheduleTrace::default().digest(), {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in 0u64.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        });
     }
 
     #[test]
@@ -667,6 +806,7 @@ mod tests {
     fn replay_panics_on_decision_kind_mismatch() {
         let mut rep = ReplayScheduler::new(ScheduleTrace {
             warp_choice: false,
+            eager: false,
             decisions: vec![Decision::Begin, Decision::KeepAll],
         });
         rep.begin_launch(&LaunchContext {

@@ -17,8 +17,9 @@
 
 use gpu_sim::sched::{ReplayScheduler, ScheduleTrace};
 
-use crate::diff::{diff_spec, DiffConfig, Verdict};
-use crate::explore::oracle_gpu_config;
+use crate::diff::{diff_litmus, diff_spec, DiffConfig, LitmusDiffReport, Verdict};
+use crate::explore::{litmus_gpu_config, oracle_gpu_config};
+use crate::litmus::LitmusSpec;
 use crate::observer::Observer;
 use crate::spec::{KernelSpec, NUM_SLOTS};
 
@@ -150,6 +151,283 @@ pub fn verify(entry: &CorpusEntry, cfg: &DiffConfig) -> Result<(), String> {
     Ok(())
 }
 
+// ========================= litmus corpus (v2) =========================
+//
+// Line format (`|`-separated, `#` comments, blank lines ignored):
+//
+// ```text
+// # litmus-corpus v2
+// <spec> | racy|clean | assert:-|no|sc|weak | <witness or -> |
+//     iguard:flagged|clean | barracuda:flagged|clean|unsupported |
+//     <expl,expl,... or ->
+// ```
+//
+// `assert:` pins the ground-truth assertion verdict: `-` no clause, `no`
+// unreachable, `sc` reachable under a sequentially consistent run, `weak`
+// reachable only through relaxed visibility. The explanation list pins
+// every divergence class (`iguard:FN:fence-scope-approximation`, ...);
+// verification fails on any UNEXPLAINED entry.
+
+/// First line of every litmus corpus file.
+pub const LITMUS_CORPUS_HEADER: &str = "# litmus-corpus v2";
+
+/// Ground-truth assertion verdict tag of a litmus corpus entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssertionTag {
+    /// Spec has no assertion clause.
+    None,
+    /// Forbidden state unreachable in the whole explored space.
+    Unreachable,
+    /// Reachable under a sequentially consistent run.
+    Sc,
+    /// Reachable only through relaxed visibility — a weak-memory anomaly.
+    WeakOnly,
+}
+
+impl AssertionTag {
+    fn as_str(self) -> &'static str {
+        match self {
+            AssertionTag::None => "-",
+            AssertionTag::Unreachable => "no",
+            AssertionTag::Sc => "sc",
+            AssertionTag::WeakOnly => "weak",
+        }
+    }
+
+    fn parse(s: &str) -> Option<AssertionTag> {
+        match s {
+            "-" => Some(AssertionTag::None),
+            "no" => Some(AssertionTag::Unreachable),
+            "sc" => Some(AssertionTag::Sc),
+            "weak" => Some(AssertionTag::WeakOnly),
+            _ => None,
+        }
+    }
+}
+
+/// One pinned litmus test + expected verdicts.
+#[derive(Debug, Clone)]
+pub struct LitmusCorpusEntry {
+    pub spec: LitmusSpec,
+    pub racy: bool,
+    pub assertion: AssertionTag,
+    /// Race witness if racy, else the assertion witness if reachable.
+    pub witness: Option<ScheduleTrace>,
+    pub iguard_flagged: bool,
+    pub barracuda: Verdict,
+    /// Sorted, deduplicated `detector:FN|FP:reason` strings.
+    pub explanations: Vec<String>,
+}
+
+fn assertion_tag(r: &LitmusDiffReport) -> AssertionTag {
+    match &r.oracle.assertion {
+        None => AssertionTag::None,
+        Some(a) if !a.reachable => AssertionTag::Unreachable,
+        Some(a) if a.sc_reachable => AssertionTag::Sc,
+        Some(_) => AssertionTag::WeakOnly,
+    }
+}
+
+fn explanation_strings(r: &LitmusDiffReport) -> Vec<String> {
+    let mut ex: Vec<String> = r
+        .divergences
+        .iter()
+        .map(|d| {
+            format!(
+                "{}:{}:{}",
+                d.detector,
+                if d.false_negative { "FN" } else { "FP" },
+                d.explanation.unwrap_or("UNEXPLAINED")
+            )
+        })
+        .collect();
+    ex.sort();
+    ex.dedup();
+    ex
+}
+
+/// Runs the litmus differential check and pins its outcome.
+#[must_use]
+pub fn entry_for_litmus(spec: &LitmusSpec, cfg: &DiffConfig) -> LitmusCorpusEntry {
+    let r = diff_litmus(spec, cfg);
+    let witness = r
+        .oracle
+        .witness
+        .clone()
+        .or_else(|| r.oracle.assertion.as_ref().and_then(|a| a.witness.clone()));
+    LitmusCorpusEntry {
+        spec: spec.clone(),
+        racy: r.oracle.racy,
+        assertion: assertion_tag(&r),
+        witness,
+        iguard_flagged: r.iguard == Verdict::Flagged,
+        barracuda: r.barracuda,
+        explanations: explanation_strings(&r),
+    }
+}
+
+/// Serializes litmus entries to the versioned text format.
+#[must_use]
+pub fn format_litmus(entries: &[LitmusCorpusEntry]) -> String {
+    let mut out = String::from(LITMUS_CORPUS_HEADER);
+    out.push('\n');
+    for e in entries {
+        let ba = match e.barracuda {
+            Verdict::Flagged => "flagged",
+            Verdict::Clean => "clean",
+            Verdict::Unsupported => "unsupported",
+        };
+        out.push_str(&format!(
+            "{} | {} | assert:{} | {} | iguard:{} | barracuda:{ba} | {}\n",
+            e.spec.to_compact_string(),
+            if e.racy { "racy" } else { "clean" },
+            e.assertion.as_str(),
+            e.witness
+                .as_ref()
+                .map_or_else(|| "-".to_string(), ScheduleTrace::to_compact_string),
+            if e.iguard_flagged { "flagged" } else { "clean" },
+            if e.explanations.is_empty() {
+                "-".to_string()
+            } else {
+                e.explanations.join(",")
+            },
+        ));
+    }
+    out
+}
+
+/// Parses a litmus corpus file; rejects unknown versions and malformed
+/// lines.
+pub fn parse_litmus(text: &str) -> Result<Vec<LitmusCorpusEntry>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == LITMUS_CORPUS_HEADER => {}
+        other => return Err(format!("bad litmus corpus header: {other:?}")),
+    }
+    let mut entries = Vec::new();
+    for (n, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", n + 2);
+        let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+        if fields.len() != 7 {
+            return Err(at(format!("expected 7 fields, got {}", fields.len())));
+        }
+        let spec = LitmusSpec::parse(fields[0]).map_err(|e| at(e.to_string()))?;
+        let racy = match fields[1] {
+            "racy" => true,
+            "clean" => false,
+            other => return Err(at(format!("bad verdict {other:?}"))),
+        };
+        let assertion = fields[2]
+            .strip_prefix("assert:")
+            .and_then(AssertionTag::parse)
+            .ok_or_else(|| at(format!("bad assertion tag {:?}", fields[2])))?;
+        let witness = if fields[3] == "-" {
+            None
+        } else {
+            Some(ScheduleTrace::parse(fields[3]).map_err(|e| at(e.to_string()))?)
+        };
+        let iguard_flagged = match fields[4] {
+            "iguard:flagged" => true,
+            "iguard:clean" => false,
+            other => return Err(at(format!("bad iguard verdict {other:?}"))),
+        };
+        let barracuda = match fields[5] {
+            "barracuda:flagged" => Verdict::Flagged,
+            "barracuda:clean" => Verdict::Clean,
+            "barracuda:unsupported" => Verdict::Unsupported,
+            other => return Err(at(format!("bad barracuda verdict {other:?}"))),
+        };
+        let explanations = if fields[6] == "-" {
+            Vec::new()
+        } else {
+            fields[6].split(',').map(str::to_string).collect()
+        };
+        entries.push(LitmusCorpusEntry {
+            spec,
+            racy,
+            assertion,
+            witness,
+            iguard_flagged,
+            barracuda,
+            explanations,
+        });
+    }
+    Ok(entries)
+}
+
+/// Replays one litmus entry against today's code: witness replay on the
+/// weak-visibility machine, then a full re-diff whose verdicts, assertion
+/// tag, and divergence classes must all still hold — and none of them may
+/// be UNEXPLAINED.
+pub fn verify_litmus(entry: &LitmusCorpusEntry, cfg: &DiffConfig) -> Result<(), String> {
+    let label = entry.spec.to_compact_string();
+
+    if let Some(trace) = &entry.witness {
+        let mut gpu = gpu_sim::machine::Gpu::new(litmus_gpu_config(
+            entry.spec.actors.len() as u32,
+            cfg.explore.max_steps,
+            true,
+        ));
+        let buf = gpu
+            .alloc(NUM_SLOTS as usize)
+            .map_err(|e| format!("{label}: alloc failed: {e}"))?;
+        let (grid, block) = entry.spec.grid_block();
+        let kernel = entry.spec.build();
+        let mut obs = Observer::default();
+        let mut sched = ReplayScheduler::new(trace.clone());
+        gpu.launch_with(&kernel, grid, block, &[buf], &mut obs, &mut sched)
+            .map_err(|e| format!("{label}: witness replay failed: {e}"))?;
+        if !sched.finished() {
+            return Err(format!("{label}: witness trace not fully consumed"));
+        }
+    }
+
+    let r = diff_litmus(&entry.spec, cfg);
+    if r.oracle.racy != entry.racy {
+        return Err(format!(
+            "{label}: oracle verdict changed: recorded {}, now {}",
+            entry.racy, r.oracle.racy
+        ));
+    }
+    let tag = assertion_tag(&r);
+    if tag != entry.assertion {
+        return Err(format!(
+            "{label}: assertion verdict changed: recorded {}, now {}",
+            entry.assertion.as_str(),
+            tag.as_str()
+        ));
+    }
+    let now_flagged = r.iguard == Verdict::Flagged;
+    if now_flagged != entry.iguard_flagged {
+        return Err(format!(
+            "{label}: iguard verdict changed: recorded {}, now {}",
+            entry.iguard_flagged, now_flagged
+        ));
+    }
+    if r.barracuda != entry.barracuda {
+        return Err(format!(
+            "{label}: barracuda verdict changed: recorded {:?}, now {:?}",
+            entry.barracuda, r.barracuda
+        ));
+    }
+    let ex = explanation_strings(&r);
+    if ex != entry.explanations {
+        return Err(format!(
+            "{label}: divergence classes changed: recorded [{}], now [{}]",
+            entry.explanations.join(","),
+            ex.join(",")
+        ));
+    }
+    if ex.iter().any(|e| e.ends_with("UNEXPLAINED")) {
+        return Err(format!("{label}: unexplained divergence pinned in corpus"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +480,44 @@ mod tests {
         assert!(parse(&format!("{CORPUS_HEADER}\nonly | three | fields\n")).is_err());
         assert!(parse(&format!(
             "{CORPUS_HEADER}\nv1;CB;S0/L0 | maybe | - | iguard:flagged\n"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn litmus_format_parse_roundtrip_and_verify() {
+        let cfg = DiffConfig::default();
+        let racy = LitmusSpec::parse("v2;CB;Sx/Lx").unwrap();
+        let mp = LitmusSpec::mp(crate::spec::Placement::CrossBlock, None);
+        let entries = vec![entry_for_litmus(&racy, &cfg), entry_for_litmus(&mp, &cfg)];
+        assert!(entries[0].racy && entries[0].witness.is_some());
+        let text = format_litmus(&entries);
+        let back = parse_litmus(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].spec, entries[0].spec);
+        assert_eq!(back[0].racy, entries[0].racy);
+        assert_eq!(back[0].assertion, entries[0].assertion);
+        assert_eq!(back[0].barracuda, entries[0].barracuda);
+        assert_eq!(back[0].explanations, entries[0].explanations);
+        assert_eq!(
+            back[0].witness.as_ref().map(ScheduleTrace::digest),
+            entries[0].witness.as_ref().map(ScheduleTrace::digest)
+        );
+        for e in &back {
+            verify_litmus(e, &cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn litmus_parse_rejects_garbage() {
+        assert!(parse_litmus("no header\n").is_err());
+        assert!(parse_litmus(&format!("{LITMUS_CORPUS_HEADER}\na | b | c\n")).is_err());
+        assert!(parse_litmus(&format!(
+            "{LITMUS_CORPUS_HEADER}\nv2;CB;Sx/Lx | racy | assert:maybe | - | iguard:clean | barracuda:clean | -\n"
+        ))
+        .is_err());
+        assert!(parse_litmus(&format!(
+            "{LITMUS_CORPUS_HEADER}\nv2;CB;Sx/Lx | racy | assert:- | - | iguard:clean | barracuda:odd | -\n"
         ))
         .is_err());
     }

@@ -35,7 +35,11 @@ use nvbit_sim::Instrumented;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::explore::{explore, oracle_gpu_config, ExploreConfig, OracleReport};
+use crate::explore::{
+    explore, explore_litmus, litmus_gpu_config, oracle_gpu_config, ExploreConfig, LitmusReport,
+    OracleReport,
+};
+use crate::litmus::{LitmusOp, LitmusSpec};
 use crate::spec::{KernelSpec, Op, NUM_SLOTS};
 
 /// How hard the differential check tries per kernel.
@@ -308,6 +312,313 @@ pub fn diff_spec(spec: &KernelSpec, cfg: &DiffConfig) -> DiffReport {
 pub fn generate_specs(n: usize, seed: u64) -> Vec<KernelSpec> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n).map(|_| KernelSpec::random(&mut rng)).collect()
+}
+
+// ===================== litmus differential check =====================
+//
+// Same structure as `diff_spec`, but over the v2 litmus family on the
+// weak-visibility machine, and with one extra divergence source: a
+// **weak-memory anomaly** — the assertion's forbidden outcome reachable
+// only through relaxed visibility — that a silent detector cannot report
+// even in principle. Race detectors reason about access *orders*, never
+// about which *value* a load returns, so these blind spots are explained
+// taxonomy classes, not campaign failures:
+//
+// - `visibility-blind` — the spec has no fence; the anomaly is plain
+//   cross-SM staleness (e.g. unfenced MP/SB), invisible to order-based
+//   detection.
+// - `fence-scope-approximation` — the spec fences, yet the anomaly (or a
+//   race) survives: the detectors model fences as release-side
+//   approximations at an approximate scope, so fence-bearing verdicts
+//   diverge. This subsumes v1's `iguard-fence-approximation` and is the
+//   demonstrated beyond-the-six-races false-negative class (see the
+//   pinned stale-re-read shape in `tests/regressions_replay.rs`).
+
+/// Full differential result for one litmus spec.
+#[derive(Debug, Clone)]
+pub struct LitmusDiffReport {
+    pub spec: LitmusSpec,
+    pub oracle: LitmusReport,
+    pub iguard: Verdict,
+    pub barracuda: Verdict,
+    pub divergences: Vec<Divergence>,
+}
+
+impl LitmusDiffReport {
+    /// Divergences with no predicted explanation; non-empty fails a
+    /// campaign.
+    #[must_use]
+    pub fn unexplained(&self) -> Vec<Divergence> {
+        self.divergences
+            .iter()
+            .copied()
+            .filter(|d| d.explanation.is_none())
+            .collect()
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let assert_tag = match &self.oracle.assertion {
+            None => "-",
+            Some(a) if !a.reachable => "no",
+            Some(a) if a.sc_reachable => "sc",
+            Some(_) => "weak",
+        };
+        let mut s = format!(
+            "{} oracle={} assert={assert_tag} ({} schedules, {} outcomes{}) iguard={:?} barracuda={:?}",
+            self.spec.to_compact_string(),
+            if self.oracle.racy { "racy" } else { "clean" },
+            self.oracle.schedules,
+            self.oracle.outcomes.len(),
+            if self.oracle.complete { "" } else { ", truncated" },
+            self.iguard,
+            self.barracuda,
+        );
+        for d in &self.divergences {
+            s.push_str(&format!(
+                " [{} {}: {}]",
+                d.detector,
+                if d.false_negative { "FN" } else { "FP" },
+                d.explanation.unwrap_or("UNEXPLAINED"),
+            ));
+        }
+        s
+    }
+}
+
+fn litmus_detector_gpu(spec: &LitmusSpec, seed: u64, cfg: &ExploreConfig) -> (Gpu, u32) {
+    let mut gpu = Gpu::new(GpuConfig {
+        seed,
+        ..litmus_gpu_config(spec.actors.len() as u32, cfg.max_steps, true)
+    });
+    let buf = gpu.alloc(NUM_SLOTS as usize).expect("litmus slot buffer fits");
+    (gpu, buf)
+}
+
+/// Runs iGUARD over one random schedule (or a witness replay) of a litmus
+/// kernel on the weak-visibility machine. Witness traces were recorded
+/// under the weak machine, so they carry `Vis` decisions and must replay
+/// on the same configuration.
+fn iguard_flags_litmus(
+    spec: &LitmusSpec,
+    seed: u64,
+    replay: Option<&ScheduleTrace>,
+    cfg: &DiffConfig,
+) -> bool {
+    let kernel = spec.build();
+    let (grid, block) = spec.grid_block();
+    let (mut gpu, buf) = litmus_detector_gpu(spec, seed, &cfg.explore);
+    let mut tool = Instrumented::new(Iguard::default());
+    let result = match replay {
+        Some(trace) => {
+            let mut sched = ReplayScheduler::new(trace.clone());
+            gpu.launch_with(&kernel, grid, block, &[buf], &mut tool, &mut sched)
+        }
+        None => gpu.launch(&kernel, grid, block, &[buf], &mut tool),
+    };
+    result
+        .unwrap_or_else(|e| panic!("iguard litmus run of {} failed: {e}", spec.to_compact_string()));
+    tool.tool().unique_races() > 0
+}
+
+/// Runs Barracuda likewise. `None` = the front end refused the kernel.
+fn barracuda_flags_litmus(
+    spec: &LitmusSpec,
+    seed: u64,
+    replay: Option<&ScheduleTrace>,
+    cfg: &DiffConfig,
+) -> Option<bool> {
+    let kernel = spec.build();
+    barracuda::supports(&[&kernel], BinaryKind::SingleFile).ok()?;
+    let (grid, block) = spec.grid_block();
+    let (mut gpu, buf) = litmus_detector_gpu(spec, seed, &cfg.explore);
+    let mut tool = Instrumented::new(Barracuda::new(BarracudaConfig::default()));
+    let result = match replay {
+        Some(trace) => {
+            let mut sched = ReplayScheduler::new(trace.clone());
+            gpu.launch_with(&kernel, grid, block, &[buf], &mut tool, &mut sched)
+        }
+        None => gpu.launch(&kernel, grid, block, &[buf], &mut tool),
+    };
+    result.unwrap_or_else(|e| {
+        panic!("barracuda litmus run of {} failed: {e}", spec.to_compact_string())
+    });
+    Some(!tool.tool_mut().finish(gpu.clock_mut()).is_empty())
+}
+
+/// Explains an iGUARD false negative on a litmus race.
+fn explain_iguard_litmus_fn(spec: &LitmusSpec) -> Option<&'static str> {
+    spec.has_fence().then_some("fence-scope-approximation")
+}
+
+/// Explains a Barracuda false negative on a litmus race.
+fn explain_barracuda_litmus_fn(spec: &LitmusSpec, oracle: &LitmusReport) -> Option<&'static str> {
+    if oracle.kinds().iter().all(|k| *k == "ITS" || *k == "BR") {
+        return Some("barracuda-its-blind");
+    }
+    spec.has_fence().then_some("barracuda-fence-model")
+}
+
+/// Explains a detector false positive on a litmus kernel (Barracuda's
+/// missing benign-atomic-read convention, as in v1).
+fn explain_barracuda_litmus_fp(spec: &LitmusSpec) -> Option<&'static str> {
+    let touches = |ops: &[LitmusOp], want_atomic: bool, l: u8| {
+        ops.iter().any(|op| match *op {
+            LitmusOp::AtomicAdd { loc, .. } | LitmusOp::AtomicExch { loc, .. } => {
+                want_atomic && loc == l
+            }
+            LitmusOp::Load { loc } => !want_atomic && loc == l,
+            _ => false,
+        })
+    };
+    let benign_pair = (0..NUM_SLOTS).any(|l| {
+        spec.actors.iter().enumerate().any(|(i, a)| {
+            touches(a, true, l)
+                && spec
+                    .actors
+                    .iter()
+                    .enumerate()
+                    .any(|(j, b)| i != j && touches(b, false, l))
+        })
+    });
+    benign_pair.then_some("barracuda-benign-atomic-read")
+}
+
+/// Explains the weak-anomaly blindness class of a silent detector.
+fn explain_weak_anomaly(spec: &LitmusSpec) -> &'static str {
+    if spec.has_fence() {
+        "fence-scope-approximation"
+    } else {
+        "visibility-blind"
+    }
+}
+
+/// The full differential check for one litmus spec: weak-visibility
+/// oracle vs both detectors on random schedules plus witness replays.
+#[must_use]
+pub fn diff_litmus(spec: &LitmusSpec, cfg: &DiffConfig) -> LitmusDiffReport {
+    let oracle = explore_litmus(spec, &cfg.explore, true);
+    let witnesses: Vec<&ScheduleTrace> = [&oracle.witness, &oracle.counter_witness]
+        .into_iter()
+        .filter_map(Option::as_ref)
+        .collect();
+
+    let mut ig = cfg
+        .seeds
+        .iter()
+        .any(|&s| iguard_flags_litmus(spec, s, None, cfg));
+    if !ig {
+        ig = witnesses
+            .iter()
+            .any(|t| iguard_flags_litmus(spec, 0, Some(t), cfg));
+    }
+    let iguard = if ig { Verdict::Flagged } else { Verdict::Clean };
+
+    let mut ba = match barracuda_flags_litmus(
+        spec,
+        cfg.seeds.first().copied().unwrap_or(1),
+        None,
+        cfg,
+    ) {
+        None => Verdict::Unsupported,
+        Some(true) => Verdict::Flagged,
+        Some(false) => Verdict::Clean,
+    };
+    if ba == Verdict::Clean {
+        for &s in cfg.seeds.iter().skip(1) {
+            if barracuda_flags_litmus(spec, s, None, cfg) == Some(true) {
+                ba = Verdict::Flagged;
+                break;
+            }
+        }
+        if ba == Verdict::Clean
+            && witnesses
+                .iter()
+                .any(|t| barracuda_flags_litmus(spec, 0, Some(t), cfg) == Some(true))
+        {
+            ba = Verdict::Flagged;
+        }
+    }
+
+    let mut divergences = Vec::new();
+    match (oracle.racy, iguard) {
+        (true, Verdict::Clean) => divergences.push(Divergence {
+            detector: "iguard",
+            false_negative: true,
+            explanation: explain_iguard_litmus_fn(spec),
+        }),
+        (false, Verdict::Flagged) => divergences.push(Divergence {
+            detector: "iguard",
+            false_negative: false,
+            explanation: (!oracle.complete).then_some("oracle-incomplete"),
+        }),
+        _ => {}
+    }
+    match (oracle.racy, ba) {
+        (true, Verdict::Unsupported) => divergences.push(Divergence {
+            detector: "barracuda",
+            false_negative: true,
+            explanation: Some("barracuda-unsupported"),
+        }),
+        (true, Verdict::Clean) => divergences.push(Divergence {
+            detector: "barracuda",
+            false_negative: true,
+            explanation: explain_barracuda_litmus_fn(spec, &oracle),
+        }),
+        (false, Verdict::Flagged) => divergences.push(Divergence {
+            detector: "barracuda",
+            false_negative: false,
+            explanation: explain_barracuda_litmus_fp(spec)
+                .or_else(|| (!oracle.complete).then_some("oracle-incomplete")),
+        }),
+        _ => {}
+    }
+
+    // Weak-memory anomaly: the forbidden final state is reachable, but
+    // only through relaxed visibility, and a detector reported nothing at
+    // all — an order-blind miss no race report covers.
+    let weak_violation = oracle
+        .assertion
+        .as_ref()
+        .is_some_and(|a| a.reachable && !a.sc_reachable);
+    if weak_violation {
+        if iguard == Verdict::Clean {
+            divergences.push(Divergence {
+                detector: "iguard",
+                false_negative: true,
+                explanation: Some(explain_weak_anomaly(spec)),
+            });
+        }
+        match ba {
+            Verdict::Clean => divergences.push(Divergence {
+                detector: "barracuda",
+                false_negative: true,
+                explanation: Some(explain_weak_anomaly(spec)),
+            }),
+            Verdict::Unsupported => divergences.push(Divergence {
+                detector: "barracuda",
+                false_negative: true,
+                explanation: Some("barracuda-unsupported"),
+            }),
+            Verdict::Flagged => {}
+        }
+    }
+
+    LitmusDiffReport {
+        spec: spec.clone(),
+        oracle,
+        iguard,
+        barracuda: ba,
+        divergences,
+    }
+}
+
+/// Deterministic litmus stream for a campaign: `n` specs from `seed`.
+#[must_use]
+pub fn generate_litmus(n: usize, seed: u64) -> Vec<LitmusSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| LitmusSpec::random(&mut rng)).collect()
 }
 
 #[cfg(test)]

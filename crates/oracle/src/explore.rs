@@ -24,15 +24,18 @@
 //! pairs are synchronization, not races, even though they commute in both
 //! orders.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use gpu_sim::hook::ExecMode;
+use gpu_sim::ir::{AtomOp, Instr};
+use gpu_sim::kernel::Kernel;
 use gpu_sim::machine::{Gpu, GpuConfig};
 use gpu_sim::prelude::{EnumeratingScheduler, RecordingScheduler, ScheduleTrace};
 use gpu_sim::ir::Scope;
 
+use crate::litmus::{Cond, LitmusSpec};
 use crate::observer::{ObservedAccess, Observer};
-use crate::spec::{KernelSpec, NUM_SLOTS};
+use crate::spec::{KernelSpec, Placement, NUM_SLOTS};
 
 /// Bounds on the exploration.
 #[derive(Debug, Clone)]
@@ -297,6 +300,238 @@ fn classify(a: &ObservedAccess, b: &ObservedAccess) -> OracleRace {
         a: (a.block, a.tid_in_block, a.pc),
         b: (b.block, b.tid_in_block, b.pc),
     }
+}
+
+/// The GPU configuration for litmus runs: one SM per actor (so each
+/// cross-block actor owns a private L1 and weak visibility has cross-SM
+/// effects to enumerate), load values recorded for assertion evaluation,
+/// and — when `weak` — the versioned relaxed-visibility memory model.
+#[must_use]
+pub fn litmus_gpu_config(num_actors: u32, max_steps: u64, weak: bool) -> GpuConfig {
+    GpuConfig {
+        num_sms: num_actors.max(2) as usize,
+        mem_words: 64,
+        max_steps,
+        mode: ExecMode::Its,
+        seed: 0,
+        its_split_prob: 0.3,
+        weak_visibility: weak,
+        record_load_values: true,
+        ..GpuConfig::default()
+    }
+}
+
+/// Verdict on the spec's final-state assertion clause over the explored
+/// schedule × visibility space.
+#[derive(Debug, Clone)]
+pub struct AssertionVerdict {
+    /// Some run satisfied every conjunct.
+    pub reachable: bool,
+    /// Some *sequentially consistent* run satisfied it (a run whose loads
+    /// are all explained by a single coherent interleaving).
+    pub sc_reachable: bool,
+    /// Trace of the first satisfying run.
+    pub witness: Option<ScheduleTrace>,
+}
+
+/// One distinct final register state of a litmus run.
+#[derive(Debug, Clone)]
+pub struct LitmusOutcome {
+    /// Reached by at least one SC-equivalent run.
+    pub sc: bool,
+    /// Reached by at least one non-SC (weak-visibility) run.
+    pub weak: bool,
+    /// Trace of the first run reaching this outcome.
+    pub witness: ScheduleTrace,
+}
+
+/// The litmus oracle's verdict: race analysis (as in [`OracleReport`])
+/// plus the weak-memory outcome census and the assertion verdict.
+#[derive(Debug, Clone)]
+pub struct LitmusReport {
+    pub racy: bool,
+    pub complete: bool,
+    pub schedules: u64,
+    pub races: Vec<OracleRace>,
+    pub witness: Option<ScheduleTrace>,
+    pub counter_witness: Option<ScheduleTrace>,
+    /// Distinct final register states, keyed by the observed values of
+    /// every plain load, concatenated in (actor, program-order) order.
+    pub outcomes: BTreeMap<Vec<u32>, LitmusOutcome>,
+    /// `None` when the spec has no assertion clause.
+    pub assertion: Option<AssertionVerdict>,
+}
+
+impl LitmusReport {
+    /// Race kind codes, deduplicated, sorted.
+    #[must_use]
+    pub fn kinds(&self) -> Vec<&'static str> {
+        let mut k: Vec<&'static str> = self.races.iter().map(|r| r.kind).collect();
+        k.sort_unstable();
+        k.dedup();
+        k
+    }
+
+    /// Whether any register outcome is reachable *only* through weak
+    /// visibility — the signature of a weak-memory anomaly.
+    #[must_use]
+    pub fn has_weak_only_outcome(&self) -> bool {
+        self.outcomes.values().any(|o| o.weak && !o.sc)
+    }
+}
+
+/// Exhaustively explores the schedule × visibility space of a litmus spec
+/// under the eager-invisible enumerator. With `weak = false` the machine
+/// keeps the legacy (per-run coherent L1) model and the exploration
+/// degrades to pure interleaving enumeration over visible operations.
+///
+/// # Panics
+/// Panics on malformed specs (validate first) or simulator faults.
+#[must_use]
+pub fn explore_litmus(spec: &LitmusSpec, cfg: &ExploreConfig, weak: bool) -> LitmusReport {
+    spec.validate()
+        .unwrap_or_else(|e| panic!("explore_litmus on invalid spec: {e}"));
+    let kernel = spec.build();
+    let (grid, block_dim) = spec.grid_block();
+    let n_actors = spec.actors.len();
+    let mut enumerator = EnumeratingScheduler::new_eager(cfg.max_decisions);
+    let mut pairs: HashMap<(Instance, Instance), PairState> = HashMap::new();
+    let mut outcomes: BTreeMap<Vec<u32>, LitmusOutcome> = BTreeMap::new();
+    let mut assertion = (!spec.assertion.is_empty()).then_some(AssertionVerdict {
+        reachable: false,
+        sc_reachable: false,
+        witness: None,
+    });
+    let hit_cap;
+
+    loop {
+        let mut gpu = Gpu::new(litmus_gpu_config(n_actors as u32, cfg.max_steps, weak));
+        let buf = gpu
+            .alloc(usize::from(NUM_SLOTS))
+            .expect("litmus pool allocation");
+        let mut obs = Observer::default();
+        let mut rec = RecordingScheduler::new(&mut enumerator);
+        gpu.launch_with(&kernel, grid, block_dim, &[buf], &mut obs, &mut rec)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "litmus kernel {} faulted during enumeration: {e}",
+                    spec.to_compact_string()
+                )
+            });
+        let trace = rec.into_trace();
+
+        accumulate_orders(&obs.events, &trace, &mut pairs);
+
+        let regs = collect_regs(spec, &obs, buf);
+        let sc = run_is_sc(&kernel, &obs, buf);
+        let key: Vec<u32> = regs.iter().flatten().copied().collect();
+        let out = outcomes.entry(key).or_insert_with(|| LitmusOutcome {
+            sc: false,
+            weak: false,
+            witness: trace.clone(),
+        });
+        if sc {
+            out.sc = true;
+        } else {
+            out.weak = true;
+        }
+
+        if let Some(av) = &mut assertion {
+            let final_mem = gpu.read_slice(buf, usize::from(NUM_SLOTS));
+            if eval_assertion(spec, &regs, &final_mem) {
+                av.reachable = true;
+                av.sc_reachable |= sc;
+                av.witness.get_or_insert_with(|| trace.clone());
+            }
+        }
+
+        if !enumerator.advance() {
+            hit_cap = false;
+            break;
+        }
+        if enumerator.schedules_completed() >= cfg.max_schedules {
+            hit_cap = true;
+            break;
+        }
+    }
+
+    let mut racy_pairs: Vec<(&(Instance, Instance), &PairState)> =
+        pairs.iter().filter(|(_, p)| p.racy()).collect();
+    racy_pairs.sort_by_key(|(k, _)| **k);
+    let (witness, counter_witness) = racy_pairs
+        .first()
+        .map_or((None, None), |(_, p)| (p.fwd.clone(), p.rev.clone()));
+    let races: Vec<OracleRace> = pairs
+        .into_values()
+        .filter(PairState::racy)
+        .map(|p| p.race)
+        .collect();
+    LitmusReport {
+        racy: !races.is_empty(),
+        complete: !hit_cap && !enumerator.truncated(),
+        schedules: enumerator.schedules_completed(),
+        races,
+        witness,
+        counter_witness,
+        outcomes,
+        assertion,
+    }
+}
+
+/// Groups a run's observed load values by actor, in program order. The
+/// family's control flow is schedule-independent, so every run of a spec
+/// yields `spec.num_loads(a)` values for actor `a`.
+fn collect_regs(spec: &LitmusSpec, obs: &Observer, buf: u32) -> Vec<Vec<u32>> {
+    let mut regs: Vec<Vec<u32>> = vec![Vec::new(); spec.actors.len()];
+    for l in &obs.loads {
+        let actor = match spec.placement {
+            Placement::CrossBlock => l.block as usize,
+            Placement::SameWarp => l.tid_in_block as usize,
+        };
+        debug_assert!(l.addr >= buf && actor < regs.len());
+        regs[actor].push(l.value);
+    }
+    for (a, r) in regs.iter().enumerate() {
+        debug_assert_eq!(r.len(), spec.num_loads(a), "load count drifted");
+    }
+    regs
+}
+
+/// Whether a run is explainable by a single coherent interleaving: replay
+/// the observed event order through a sequentially consistent shadow
+/// memory (using the kernel's own code to interpret each access) and
+/// check every load saw exactly the shadow value. A mismatch means some
+/// load took a stale or early line — weak-visibility behaviour.
+fn run_is_sc(kernel: &Kernel, obs: &Observer, buf: u32) -> bool {
+    let mut shadow = [0u32; NUM_SLOTS as usize];
+    let mut next_load = 0usize;
+    for e in &obs.events {
+        let slot = ((e.addr - buf) / 4) as usize;
+        match &kernel.code[e.pc] {
+            Instr::St { .. } => shadow[slot] = 1,
+            Instr::Atom { op: AtomOp::Add, .. } => shadow[slot] += 1,
+            Instr::Atom { op: AtomOp::Exch, .. } => shadow[slot] = 1,
+            Instr::Atom { op, .. } => unreachable!("litmus family has no {op:?}"),
+            Instr::Ld { .. } => {
+                let observed = obs.loads[next_load].value;
+                next_load += 1;
+                if observed != shadow[slot] {
+                    return false;
+                }
+            }
+            other => unreachable!("non-memory instr {other:?} in event stream"),
+        }
+    }
+    true
+}
+
+/// Evaluates the assertion conjunction against one run's registers and
+/// final coherent memory.
+fn eval_assertion(spec: &LitmusSpec, regs: &[Vec<u32>], final_mem: &[u32]) -> bool {
+    spec.assertion.iter().all(|c| match *c {
+        Cond::Reg { actor, load, value } => regs[actor as usize][load as usize] == value,
+        Cond::Mem { loc, value } => final_mem[loc as usize] == value,
+    })
 }
 
 #[cfg(test)]

@@ -14,16 +14,31 @@
 //! Divergent kernels are shrunk to a minimal spec ([`shrink`]) and stored
 //! with their witness schedule trace in a versioned regression corpus
 //! ([`corpus`]) that a tier-1 test replays deterministically.
+//!
+//! On top of the v1 two-actor family sits the **weak-memory litmus
+//! engine**: a `v2` multi-actor litmus language ([`litmus`]), relaxed-
+//! visibility enumeration producing "racy / race-free /
+//! assertion-violating under weak memory" verdicts
+//! ([`explore::explore_litmus`]), a litmus-specific differential check
+//! with weak-memory divergence classes ([`diff::diff_litmus`]), and its
+//! own versioned corpus (`tests/corpus/litmus_v2.corpus`).
 
 pub mod corpus;
 pub mod diff;
 pub mod explore;
+pub mod litmus;
 pub mod observer;
 pub mod shrink;
 pub mod spec;
 
-pub use diff::{diff_spec, DiffConfig, DiffReport, Divergence, Verdict};
-pub use explore::{explore, oracle_gpu_config, ExploreConfig, OracleRace, OracleReport};
-pub use observer::{ObservedAccess, Observer};
-pub use shrink::shrink_spec;
+pub use diff::{
+    diff_litmus, diff_spec, DiffConfig, DiffReport, Divergence, LitmusDiffReport, Verdict,
+};
+pub use explore::{
+    explore, explore_litmus, litmus_gpu_config, oracle_gpu_config, AssertionVerdict,
+    ExploreConfig, LitmusOutcome, LitmusReport, OracleRace, OracleReport,
+};
+pub use litmus::{Cond, LitmusError, LitmusOp, LitmusSpec, MAX_ACTORS, MIN_ACTORS};
+pub use observer::{ObservedAccess, ObservedLoad, Observer};
+pub use shrink::{shrink_litmus, shrink_spec};
 pub use spec::{KernelSpec, Op, Placement, NUM_SLOTS};

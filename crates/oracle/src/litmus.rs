@@ -1,0 +1,776 @@
+//! The `v2` litmus language: multi-actor weak-memory test specs.
+//!
+//! A [`LitmusSpec`] generalizes the two-actor `v1` [`KernelSpec`]
+//! family to the shape of classic weak-memory litmus tests:
+//!
+//! - **2–4 actors**, each a straight-line sequence of operations over
+//!   **named shared locations** `x`, `y`, `z`, `u` (slots 0–3 of the
+//!   oracle pool);
+//! - plain loads/stores, scoped `atomicAdd`/`atomicExch` RMWs, scoped
+//!   fences, and (same-warp only) aligned barriers;
+//! - an optional **final-state assertion clause**: a conjunction of
+//!   per-actor register conditions (`1:r0=1` — actor 1's first plain
+//!   load observed 1) and final-memory conditions (`[x]=1`).
+//!
+//! Compact form (`v2;` header, actors `/`-separated, assertion after
+//! `;?`, conditions `&`-joined):
+//!
+//! ```text
+//! v2;CB;Sx.fD.Sy/Ly.Lx;?1:r0=1&1:r1=0       # message passing (MP)
+//! v2;CB;Sx.Ly/Sy.Lx;?0:r0=0&1:r0=0          # store buffering (SB)
+//! v2;CB;Sx/Sy/Lx.Ly/Ly.Lx                   # IRIW, no assertion
+//! ```
+//!
+//! Parsing never panics: every malformed input maps to a typed
+//! [`LitmusError`]. The classic MP/SB/LB/IRIW/WRC shapes have
+//! constructors ([`LitmusSpec::mp`] etc.) parameterized on fence scope,
+//! so both block- and device-scope variants are one call away.
+
+use std::fmt;
+
+use gpu_sim::ir::Scope;
+use gpu_sim::kernel::Kernel;
+use gpu_sim::prelude::{KernelBuilder, Special};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use crate::spec::{Placement, NUM_SLOTS};
+
+/// Inclusive actor-count bounds of the `v2` family.
+pub const MIN_ACTORS: usize = 2;
+pub const MAX_ACTORS: usize = 4;
+
+/// Location names, in slot order: `x`→slot 0 … `u`→slot 3.
+pub const LOC_NAMES: [char; NUM_SLOTS as usize] = ['x', 'y', 'z', 'u'];
+
+fn loc_name(loc: u8) -> char {
+    LOC_NAMES[loc as usize]
+}
+
+fn loc_of(c: char) -> Option<u8> {
+    LOC_NAMES.iter().position(|&n| n == c).map(|i| i as u8)
+}
+
+/// One operation of a litmus actor. Stores and exchanges write the
+/// constant 1 (litmus tests distinguish "saw the write" from "didn't",
+/// not which of several values arrived), `atomicAdd` adds 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitmusOp {
+    /// Plain global load of a location (`Lx`).
+    Load { loc: u8 },
+    /// Plain global store of 1 (`Sx`).
+    Store { loc: u8 },
+    /// `atomicAdd(&loc, 1)` at the given scope (`aBx` / `aDx`).
+    AtomicAdd { loc: u8, scope: Scope },
+    /// `atomicExch(&loc, 1)` at the given scope (`eBx` / `eDx`).
+    AtomicExch { loc: u8, scope: Scope },
+    /// `__threadfence[_block]()` (`fB` / `fD`).
+    Fence { scope: Scope },
+    /// `__syncwarp()` (`w`; same-warp placement only).
+    SyncWarp,
+    /// `__syncthreads()` (`t`; same-warp placement only).
+    SyncThreads,
+}
+
+impl LitmusOp {
+    fn token(self) -> String {
+        let sc = |s: Scope| if s == Scope::Block { 'B' } else { 'D' };
+        match self {
+            LitmusOp::Load { loc } => format!("L{}", loc_name(loc)),
+            LitmusOp::Store { loc } => format!("S{}", loc_name(loc)),
+            LitmusOp::AtomicAdd { loc, scope } => format!("a{}{}", sc(scope), loc_name(loc)),
+            LitmusOp::AtomicExch { loc, scope } => format!("e{}{}", sc(scope), loc_name(loc)),
+            LitmusOp::Fence { scope } => format!("f{}", sc(scope)),
+            LitmusOp::SyncWarp => "w".into(),
+            LitmusOp::SyncThreads => "t".into(),
+        }
+    }
+
+    fn parse(tok: &str) -> Result<LitmusOp, LitmusError> {
+        let loc_arg = |rest: &str| -> Result<u8, LitmusError> {
+            let mut chars = rest.chars();
+            match (chars.next().and_then(loc_of), chars.next()) {
+                (Some(loc), None) => Ok(loc),
+                _ => Err(LitmusError::UnknownLocation {
+                    token: tok.to_string(),
+                }),
+            }
+        };
+        match tok {
+            "w" => Ok(LitmusOp::SyncWarp),
+            "t" => Ok(LitmusOp::SyncThreads),
+            "fB" => Ok(LitmusOp::Fence { scope: Scope::Block }),
+            "fD" => Ok(LitmusOp::Fence { scope: Scope::Device }),
+            _ if tok.starts_with("aB") => Ok(LitmusOp::AtomicAdd {
+                loc: loc_arg(&tok[2..])?,
+                scope: Scope::Block,
+            }),
+            _ if tok.starts_with("aD") => Ok(LitmusOp::AtomicAdd {
+                loc: loc_arg(&tok[2..])?,
+                scope: Scope::Device,
+            }),
+            _ if tok.starts_with("eB") => Ok(LitmusOp::AtomicExch {
+                loc: loc_arg(&tok[2..])?,
+                scope: Scope::Block,
+            }),
+            _ if tok.starts_with("eD") => Ok(LitmusOp::AtomicExch {
+                loc: loc_arg(&tok[2..])?,
+                scope: Scope::Device,
+            }),
+            _ if tok.starts_with('L') => Ok(LitmusOp::Load {
+                loc: loc_arg(&tok[1..])?,
+            }),
+            _ if tok.starts_with('S') => Ok(LitmusOp::Store {
+                loc: loc_arg(&tok[1..])?,
+            }),
+            _ => Err(LitmusError::UnknownOp {
+                token: tok.to_string(),
+            }),
+        }
+    }
+
+    /// Whether this op is a visible (global-memory or fence) operation —
+    /// the eager-POR scheduling choice points.
+    #[must_use]
+    pub fn is_visible(self) -> bool {
+        !matches!(self, LitmusOp::SyncWarp | LitmusOp::SyncThreads)
+    }
+
+    /// Whether this op writes a location.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            LitmusOp::Store { .. } | LitmusOp::AtomicAdd { .. } | LitmusOp::AtomicExch { .. }
+        )
+    }
+}
+
+/// One conjunct of the final-state assertion clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// The `load`-th plain load of `actor` observed `value` (`0:r1=1`).
+    Reg { actor: u8, load: u8, value: u32 },
+    /// The location holds `value` in the final coherent memory (`[x]=1`).
+    Mem { loc: u8, value: u32 },
+}
+
+impl Cond {
+    fn token(self) -> String {
+        match self {
+            Cond::Reg { actor, load, value } => format!("{actor}:r{load}={value}"),
+            Cond::Mem { loc, value } => format!("[{}]={value}", loc_name(loc)),
+        }
+    }
+}
+
+/// Typed parse/validation error for `v2` specs. Every malformed input is
+/// one of these — no panicking parse paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LitmusError {
+    /// Input does not start with the `v2;` version tag.
+    Version { found: String },
+    /// Header structure (placement / actors segments) is missing.
+    Header { found: String },
+    /// Placement is neither `CB` nor `SW`.
+    Placement { found: String },
+    /// Actor count outside `MIN_ACTORS..=MAX_ACTORS`.
+    ActorCount { count: usize },
+    /// An actor has no operations.
+    EmptyActor { actor: usize },
+    /// Unrecognized operation token.
+    UnknownOp { token: String },
+    /// Operation names no known location (`x`/`y`/`z`/`u`).
+    UnknownLocation { token: String },
+    /// `w`/`t` barrier in a cross-block spec (meaningless there: each
+    /// block is a single thread that releases its own barrier instantly).
+    BarrierUnderCrossBlock { token: String },
+    /// Assertion clause is syntactically malformed.
+    Assertion { clause: String },
+    /// Assertion condition names a nonexistent actor.
+    ActorRef { actor: usize, actors: usize },
+    /// Assertion condition names a plain-load ordinal the actor never
+    /// executes.
+    LoadRef {
+        actor: usize,
+        load: usize,
+        loads: usize,
+    },
+}
+
+impl fmt::Display for LitmusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LitmusError::Version { found } => write!(f, "unknown spec version in {found:?}"),
+            LitmusError::Header { found } => write!(f, "bad spec header in {found:?}"),
+            LitmusError::Placement { found } => write!(f, "unknown placement {found:?}"),
+            LitmusError::ActorCount { count } => write!(
+                f,
+                "actor count {count} outside {MIN_ACTORS}..={MAX_ACTORS}"
+            ),
+            LitmusError::EmptyActor { actor } => write!(f, "actor {actor} has no ops"),
+            LitmusError::UnknownOp { token } => write!(f, "unknown op token {token:?}"),
+            LitmusError::UnknownLocation { token } => {
+                write!(f, "unknown location in op {token:?}")
+            }
+            LitmusError::BarrierUnderCrossBlock { token } => {
+                write!(f, "barrier {token:?} is meaningless under CB placement")
+            }
+            LitmusError::Assertion { clause } => write!(f, "bad assertion clause {clause:?}"),
+            LitmusError::ActorRef { actor, actors } => {
+                write!(f, "assertion names actor {actor} of {actors}")
+            }
+            LitmusError::LoadRef { actor, load, loads } => write!(
+                f,
+                "assertion names load r{load} of actor {actor}, which has {loads} loads"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LitmusError {}
+
+/// A multi-actor weak-memory litmus test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LitmusSpec {
+    pub placement: Placement,
+    /// 2–4 actors' operation sequences.
+    pub actors: Vec<Vec<LitmusOp>>,
+    /// Conjunction of final-state conditions; empty = no assertion.
+    pub assertion: Vec<Cond>,
+}
+
+impl LitmusSpec {
+    /// `(grid_dim, block_dim)`: one single-thread block per actor under
+    /// `CB` (each block lands on its own SM in the litmus GPU config), or
+    /// one block whose lanes are the actors under `SW`.
+    #[must_use]
+    pub fn grid_block(&self) -> (u32, u32) {
+        let n = self.actors.len() as u32;
+        match self.placement {
+            Placement::SameWarp => (1, n),
+            Placement::CrossBlock => (n, 1),
+        }
+    }
+
+    /// Whether any actor contains a fence.
+    #[must_use]
+    pub fn has_fence(&self) -> bool {
+        self.actors
+            .iter()
+            .flatten()
+            .any(|o| matches!(o, LitmusOp::Fence { .. }))
+    }
+
+    /// Number of plain loads actor `a` executes (the `r0..` register file
+    /// the assertion clause can name).
+    #[must_use]
+    pub fn num_loads(&self, a: usize) -> usize {
+        self.actors[a]
+            .iter()
+            .filter(|o| matches!(o, LitmusOp::Load { .. }))
+            .count()
+    }
+
+    /// Per-actor visible-operation counts (loads, stores, RMWs, fences) —
+    /// the eager-POR schedule space of a cross-block spec is exactly the
+    /// multinomial over these.
+    #[must_use]
+    pub fn visible_counts(&self) -> Vec<usize> {
+        self.actors
+            .iter()
+            .map(|a| a.iter().filter(|o| o.is_visible()).count())
+            .collect()
+    }
+
+    /// Structural validity check backing [`LitmusSpec::parse`]; also used
+    /// on programmatically built specs before exploration.
+    pub fn validate(&self) -> Result<(), LitmusError> {
+        let n = self.actors.len();
+        if !(MIN_ACTORS..=MAX_ACTORS).contains(&n) {
+            return Err(LitmusError::ActorCount { count: n });
+        }
+        for (i, ops) in self.actors.iter().enumerate() {
+            if ops.is_empty() {
+                return Err(LitmusError::EmptyActor { actor: i });
+            }
+            if self.placement == Placement::CrossBlock {
+                if let Some(bar) = ops
+                    .iter()
+                    .find(|o| matches!(o, LitmusOp::SyncWarp | LitmusOp::SyncThreads))
+                {
+                    return Err(LitmusError::BarrierUnderCrossBlock {
+                        token: bar.token(),
+                    });
+                }
+            }
+        }
+        for c in &self.assertion {
+            if let Cond::Reg { actor, load, .. } = *c {
+                let (actor, load) = (actor as usize, load as usize);
+                if actor >= n {
+                    return Err(LitmusError::ActorRef { actor, actors: n });
+                }
+                let loads = self.num_loads(actor);
+                if load >= loads {
+                    return Err(LitmusError::LoadRef { actor, load, loads });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the versioned single-line form, e.g.
+    /// `v2;CB;Sx.fD.Sy/Ly.Lx;?1:r0=1&1:r1=0`.
+    #[must_use]
+    pub fn to_compact_string(&self) -> String {
+        let place = match self.placement {
+            Placement::SameWarp => "SW",
+            Placement::CrossBlock => "CB",
+        };
+        let actors = self
+            .actors
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .map(|o| o.token())
+                    .collect::<Vec<_>>()
+                    .join(".")
+            })
+            .collect::<Vec<_>>()
+            .join("/");
+        let mut s = format!("v2;{place};{actors}");
+        if !self.assertion.is_empty() {
+            s.push_str(";?");
+            s.push_str(
+                &self
+                    .assertion
+                    .iter()
+                    .map(|c| c.token())
+                    .collect::<Vec<_>>()
+                    .join("&"),
+            );
+        }
+        s
+    }
+
+    /// Parses the form produced by [`LitmusSpec::to_compact_string`].
+    pub fn parse(s: &str) -> Result<Self, LitmusError> {
+        let rest = s.strip_prefix("v2;").ok_or_else(|| LitmusError::Version {
+            found: s.to_string(),
+        })?;
+        let mut segs = rest.splitn(3, ';');
+        let place = segs.next().unwrap_or_default();
+        let body = segs.next().ok_or_else(|| LitmusError::Header {
+            found: s.to_string(),
+        })?;
+        let placement = match place {
+            "SW" => Placement::SameWarp,
+            "CB" => Placement::CrossBlock,
+            other => {
+                return Err(LitmusError::Placement {
+                    found: other.to_string(),
+                })
+            }
+        };
+        let actors: Vec<Vec<LitmusOp>> = body
+            .split('/')
+            .map(|part| {
+                if part.is_empty() {
+                    Ok(Vec::new())
+                } else {
+                    part.split('.').map(LitmusOp::parse).collect()
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        let assertion = match segs.next() {
+            None => Vec::new(),
+            Some(a) => {
+                let conds = a.strip_prefix('?').ok_or_else(|| LitmusError::Assertion {
+                    clause: a.to_string(),
+                })?;
+                conds.split('&').map(Self::parse_cond).collect::<Result<_, _>>()?
+            }
+        };
+        let spec = LitmusSpec {
+            placement,
+            actors,
+            assertion,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn parse_cond(clause: &str) -> Result<Cond, LitmusError> {
+        let bad = || LitmusError::Assertion {
+            clause: clause.to_string(),
+        };
+        let (lhs, value) = clause.split_once('=').ok_or_else(bad)?;
+        let value: u32 = value.parse().map_err(|_| bad())?;
+        if let Some(loc_part) = lhs.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let mut chars = loc_part.chars();
+            let loc = match (chars.next().and_then(loc_of), chars.next()) {
+                (Some(l), None) => l,
+                _ => return Err(bad()),
+            };
+            return Ok(Cond::Mem { loc, value });
+        }
+        let (actor, reg) = lhs.split_once(':').ok_or_else(bad)?;
+        let actor: u8 = actor.parse().map_err(|_| bad())?;
+        let load: u8 = reg.strip_prefix('r').ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        Ok(Cond::Reg { actor, load, value })
+    }
+
+    /// Builds the kernel: a chain of `eq`/`bra_ifnot` dispatches on the
+    /// actor id (`tid` under `SW`, `blockIdx` under `CB`) into per-actor
+    /// straight-line regions that each end in `exit` — the n-actor
+    /// generalization of the `v1` two-way prologue.
+    #[must_use]
+    pub fn build(&self) -> Kernel {
+        let mut b = KernelBuilder::new("litmus_gen");
+        let base = b.param(0);
+        let id = match self.placement {
+            Placement::SameWarp => b.special(Special::Tid),
+            Placement::CrossBlock => b.special(Special::BlockId),
+        };
+        let n = self.actors.len();
+        for (a, ops) in self.actors.iter().enumerate() {
+            if a + 1 == n {
+                // Last actor is the fallthrough of the dispatch chain.
+                Self::emit_region(&mut b, base, ops);
+            } else {
+                let is_a = b.eq(id, a as u32);
+                let skip = b.fwd_label();
+                b.bra_ifnot(is_a, skip);
+                Self::emit_region(&mut b, base, ops);
+                b.bind(skip);
+            }
+        }
+        b.build()
+    }
+
+    fn emit_region(b: &mut KernelBuilder, base: gpu_sim::ir::Reg, ops: &[LitmusOp]) {
+        let src = ops.iter().any(|o| o.is_write()).then(|| b.imm(1));
+        for op in ops {
+            match *op {
+                LitmusOp::Load { loc } => {
+                    let _ = b.ld(base, i32::from(loc));
+                }
+                LitmusOp::Store { loc } => b.st(base, i32::from(loc), src.unwrap()),
+                LitmusOp::AtomicAdd { loc, scope } => {
+                    let _ = b.atomic_add(scope, base, i32::from(loc), src.unwrap());
+                }
+                LitmusOp::AtomicExch { loc, scope } => {
+                    let _ = b.atomic_exch(scope, base, i32::from(loc), src.unwrap());
+                }
+                LitmusOp::Fence { scope } => b.membar(scope),
+                LitmusOp::SyncWarp => b.syncwarp(),
+                LitmusOp::SyncThreads => b.syncthreads(),
+            }
+        }
+        b.exit();
+    }
+
+    // ----- classic shapes ---------------------------------------------
+    //
+    // Locations: x = slot 0, y = slot 1. `fence` inserts a scoped fence at
+    // the canonical position of each actor (between the two accesses);
+    // `None` gives the plain variant.
+
+    fn f(fence: Option<Scope>) -> Vec<LitmusOp> {
+        fence.map(|scope| LitmusOp::Fence { scope }).into_iter().collect()
+    }
+
+    /// Message passing: `Sx [f] Sy / Ly [f] Lx`, forbidden outcome
+    /// "saw the flag, missed the data" (`1:r0=1 & 1:r1=0`).
+    #[must_use]
+    pub fn mp(placement: Placement, fence: Option<Scope>) -> LitmusSpec {
+        let mut a0 = vec![LitmusOp::Store { loc: 0 }];
+        a0.extend(Self::f(fence));
+        a0.push(LitmusOp::Store { loc: 1 });
+        let mut a1 = vec![LitmusOp::Load { loc: 1 }];
+        a1.extend(Self::f(fence));
+        a1.push(LitmusOp::Load { loc: 0 });
+        LitmusSpec {
+            placement,
+            actors: vec![a0, a1],
+            assertion: vec![
+                Cond::Reg { actor: 1, load: 0, value: 1 },
+                Cond::Reg { actor: 1, load: 1, value: 0 },
+            ],
+        }
+    }
+
+    /// Store buffering: `Sx [f] Ly / Sy [f] Lx`, forbidden outcome "both
+    /// loads miss" (`0:r0=0 & 1:r0=0`).
+    #[must_use]
+    pub fn sb(placement: Placement, fence: Option<Scope>) -> LitmusSpec {
+        let mut a0 = vec![LitmusOp::Store { loc: 0 }];
+        a0.extend(Self::f(fence));
+        a0.push(LitmusOp::Load { loc: 1 });
+        let mut a1 = vec![LitmusOp::Store { loc: 1 }];
+        a1.extend(Self::f(fence));
+        a1.push(LitmusOp::Load { loc: 0 });
+        LitmusSpec {
+            placement,
+            actors: vec![a0, a1],
+            assertion: vec![
+                Cond::Reg { actor: 0, load: 0, value: 0 },
+                Cond::Reg { actor: 1, load: 0, value: 0 },
+            ],
+        }
+    }
+
+    /// Load buffering: `Lx [f] Sy / Ly [f] Sx`, forbidden outcome "both
+    /// loads see the other's future store" (`0:r0=1 & 1:r0=1`).
+    #[must_use]
+    pub fn lb(placement: Placement, fence: Option<Scope>) -> LitmusSpec {
+        let mut a0 = vec![LitmusOp::Load { loc: 0 }];
+        a0.extend(Self::f(fence));
+        a0.push(LitmusOp::Store { loc: 1 });
+        let mut a1 = vec![LitmusOp::Load { loc: 1 }];
+        a1.extend(Self::f(fence));
+        a1.push(LitmusOp::Store { loc: 0 });
+        LitmusSpec {
+            placement,
+            actors: vec![a0, a1],
+            assertion: vec![
+                Cond::Reg { actor: 0, load: 0, value: 1 },
+                Cond::Reg { actor: 1, load: 0, value: 1 },
+            ],
+        }
+    }
+
+    /// Independent reads of independent writes: `Sx / Sy / Lx [f] Ly /
+    /// Ly [f] Lx`, forbidden outcome "the two readers disagree on the
+    /// write order" (`2:r0=1 & 2:r1=0 & 3:r0=1 & 3:r1=0`).
+    #[must_use]
+    pub fn iriw(placement: Placement, fence: Option<Scope>) -> LitmusSpec {
+        let mut a2 = vec![LitmusOp::Load { loc: 0 }];
+        a2.extend(Self::f(fence));
+        a2.push(LitmusOp::Load { loc: 1 });
+        let mut a3 = vec![LitmusOp::Load { loc: 1 }];
+        a3.extend(Self::f(fence));
+        a3.push(LitmusOp::Load { loc: 0 });
+        LitmusSpec {
+            placement,
+            actors: vec![
+                vec![LitmusOp::Store { loc: 0 }],
+                vec![LitmusOp::Store { loc: 1 }],
+                a2,
+                a3,
+            ],
+            assertion: vec![
+                Cond::Reg { actor: 2, load: 0, value: 1 },
+                Cond::Reg { actor: 2, load: 1, value: 0 },
+                Cond::Reg { actor: 3, load: 0, value: 1 },
+                Cond::Reg { actor: 3, load: 1, value: 0 },
+            ],
+        }
+    }
+
+    /// Write-read causality: `Sx / Lx [f] Sy / Ly [f] Lx`, forbidden
+    /// outcome "causality chain observed, origin missed"
+    /// (`1:r0=1 & 2:r0=1 & 2:r1=0`).
+    #[must_use]
+    pub fn wrc(placement: Placement, fence: Option<Scope>) -> LitmusSpec {
+        let mut a1 = vec![LitmusOp::Load { loc: 0 }];
+        a1.extend(Self::f(fence));
+        a1.push(LitmusOp::Store { loc: 1 });
+        let mut a2 = vec![LitmusOp::Load { loc: 1 }];
+        a2.extend(Self::f(fence));
+        a2.push(LitmusOp::Load { loc: 0 });
+        LitmusSpec {
+            placement,
+            actors: vec![vec![LitmusOp::Store { loc: 0 }], a1, a2],
+            assertion: vec![
+                Cond::Reg { actor: 1, load: 0, value: 1 },
+                Cond::Reg { actor: 2, load: 0, value: 1 },
+                Cond::Reg { actor: 2, load: 1, value: 0 },
+            ],
+        }
+    }
+
+    /// Draws a random well-formed litmus spec: 2–4 actors, 1–3 ops each,
+    /// mostly plain loads/stores with occasional RMWs and fences; about
+    /// half the specs carry an assertion over their loads/locations.
+    #[must_use]
+    pub fn random(rng: &mut SmallRng) -> Self {
+        let placement = if rng.random_bool(0.3) {
+            Placement::SameWarp
+        } else {
+            Placement::CrossBlock
+        };
+        let n = rng.random_range(MIN_ACTORS..=MAX_ACTORS);
+        let mut actors = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = rng.random_range(1usize..=3);
+            let mut ops = Vec::with_capacity(k);
+            for _ in 0..k {
+                let loc = rng.random_range(0..NUM_SLOTS);
+                let scope = if rng.random_bool(0.5) {
+                    Scope::Block
+                } else {
+                    Scope::Device
+                };
+                let roll = rng.random_range(0u32..100);
+                ops.push(match roll {
+                    0..=39 => LitmusOp::Load { loc },
+                    40..=77 => LitmusOp::Store { loc },
+                    78..=85 => LitmusOp::AtomicAdd { loc, scope },
+                    86..=91 => LitmusOp::AtomicExch { loc, scope },
+                    _ => LitmusOp::Fence { scope },
+                });
+            }
+            actors.push(ops);
+        }
+        let mut spec = LitmusSpec {
+            placement,
+            actors,
+            assertion: Vec::new(),
+        };
+        if placement == Placement::SameWarp && rng.random_bool(0.4) {
+            // Aligned barrier at the same gap in every actor, so it
+            // actually orders the accesses around it.
+            let bar = if rng.random_bool(0.5) {
+                LitmusOp::SyncWarp
+            } else {
+                LitmusOp::SyncThreads
+            };
+            let max_gap = spec.actors.iter().map(Vec::len).min().unwrap_or(0);
+            let gap = rng.random_range(0..=max_gap);
+            for ops in &mut spec.actors {
+                ops.insert(gap, bar);
+            }
+        }
+        if rng.random_bool(0.5) {
+            let conds = rng.random_range(1usize..=2);
+            for _ in 0..conds {
+                let cond = if rng.random_bool(0.3) {
+                    Cond::Mem {
+                        loc: rng.random_range(0..NUM_SLOTS),
+                        value: u32::from(rng.random_bool(0.5)),
+                    }
+                } else {
+                    // Pick a random existing load, if any actor has one.
+                    let with_loads: Vec<usize> = (0..spec.actors.len())
+                        .filter(|&a| spec.num_loads(a) > 0)
+                        .collect();
+                    match with_loads.as_slice() {
+                        [] => continue,
+                        choices => {
+                            let a = choices[rng.random_range(0..choices.len())];
+                            let load = rng.random_range(0..spec.num_loads(a));
+                            Cond::Reg {
+                                actor: a as u8,
+                                load: load as u8,
+                                value: u32::from(rng.random_bool(0.5)),
+                            }
+                        }
+                    }
+                };
+                spec.assertion.push(cond);
+            }
+        }
+        debug_assert!(spec.validate().is_ok());
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classic_shapes_roundtrip() {
+        let mp = LitmusSpec::mp(Placement::CrossBlock, Some(Scope::Device));
+        assert_eq!(mp.to_compact_string(), "v2;CB;Sx.fD.Sy/Ly.fD.Lx;?1:r0=1&1:r1=0");
+        assert_eq!(LitmusSpec::parse(&mp.to_compact_string()).unwrap(), mp);
+
+        let iriw = LitmusSpec::iriw(Placement::CrossBlock, None);
+        assert_eq!(
+            iriw.to_compact_string(),
+            "v2;CB;Sx/Sy/Lx.Ly/Ly.Lx;?2:r0=1&2:r1=0&3:r0=1&3:r1=0"
+        );
+        assert_eq!(LitmusSpec::parse(&iriw.to_compact_string()).unwrap(), iriw);
+
+        for spec in [
+            LitmusSpec::sb(Placement::SameWarp, None),
+            LitmusSpec::lb(Placement::CrossBlock, Some(Scope::Block)),
+            LitmusSpec::wrc(Placement::CrossBlock, Some(Scope::Device)),
+        ] {
+            spec.validate().unwrap();
+            assert_eq!(LitmusSpec::parse(&spec.to_compact_string()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn malformed_specs_map_to_typed_errors() {
+        use LitmusError as E;
+        let err = |s: &str| LitmusSpec::parse(s).unwrap_err();
+        assert!(matches!(err("v1;CB;Sx/Lx"), E::Version { .. }));
+        assert!(matches!(err("v2;CB"), E::Header { .. }));
+        assert!(matches!(err("v2;XX;Sx/Lx"), E::Placement { .. }));
+        assert!(matches!(err("v2;CB;Sx"), E::ActorCount { count: 1 }));
+        assert!(matches!(
+            err("v2;CB;Sx/Lx/Lx/Lx/Lx"),
+            E::ActorCount { count: 5 }
+        ));
+        assert!(matches!(err("v2;CB;Sx//Lx"), E::EmptyActor { actor: 1 }));
+        assert!(matches!(err("v2;CB;Qx/Lx"), E::UnknownOp { .. }));
+        assert!(matches!(err("v2;CB;S9/Lx"), E::UnknownLocation { .. }));
+        assert!(matches!(err("v2;CB;Sxx/Lx"), E::UnknownLocation { .. }));
+        assert!(matches!(
+            err("v2;CB;Sx.w/Lx"),
+            E::BarrierUnderCrossBlock { .. }
+        ));
+        assert!(matches!(err("v2;CB;Sx/Lx;?garbage"), E::Assertion { .. }));
+        assert!(matches!(err("v2;CB;Sx/Lx;?[q]=1"), E::Assertion { .. }));
+        assert!(matches!(
+            err("v2;CB;Sx/Lx;?5:r0=1"),
+            E::ActorRef { actor: 5, actors: 2 }
+        ));
+        assert!(matches!(
+            err("v2;CB;Sx/Lx;?0:r0=1"),
+            E::LoadRef { actor: 0, load: 0, loads: 0 }
+        ));
+        assert!(matches!(
+            err("v2;CB;Sx/Lx;?1:r3=0"),
+            E::LoadRef { actor: 1, load: 3, loads: 1 }
+        ));
+        // Errors render and are std errors.
+        let e: Box<dyn std::error::Error> = Box::new(err("v2;CB;Sx"));
+        assert!(e.to_string().contains("actor count"));
+    }
+
+    #[test]
+    fn random_specs_roundtrip_and_validate() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..300 {
+            let spec = LitmusSpec::random(&mut rng);
+            spec.validate().unwrap();
+            let s = spec.to_compact_string();
+            assert_eq!(LitmusSpec::parse(&s).unwrap(), spec, "{s}");
+        }
+    }
+
+    #[test]
+    fn built_kernels_execute_every_actor() {
+        use gpu_sim::hook::NullHook;
+        use gpu_sim::machine::{Gpu, GpuConfig};
+        let spec = LitmusSpec::iriw(Placement::CrossBlock, Some(Scope::Device));
+        let k = spec.build();
+        let mut gpu = Gpu::new(GpuConfig {
+            mem_words: 64,
+            num_sms: 4,
+            max_steps: 10_000,
+            ..GpuConfig::default()
+        });
+        let buf = gpu.alloc(usize::from(NUM_SLOTS)).unwrap();
+        let (grid, block) = spec.grid_block();
+        gpu.launch(&k, grid, block, &[buf], &mut NullHook).unwrap();
+        // Both writers ran: final memory has x = y = 1.
+        assert_eq!(gpu.read_slice(buf, 2), vec![1, 1]);
+    }
+}

@@ -27,10 +27,26 @@ pub struct ObservedAccess {
     pub step: u64,
 }
 
+/// One dynamic plain load together with the value the lane observed. Only
+/// recorded when the launch runs with `GpuConfig::record_load_values` (or
+/// weak visibility, which implies it); under the default config the
+/// callback never fires and `loads` stays empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedLoad {
+    pub block: u32,
+    pub tid_in_block: u32,
+    pub addr: u32,
+    pub pc: usize,
+    pub value: u32,
+}
+
 /// Records every global access of a launch in execution order.
 #[derive(Debug, Default)]
 pub struct Observer {
     pub events: Vec<ObservedAccess>,
+    /// Observed load values, in execution order (litmus runs only; the
+    /// k-th plain-load entry of `events` pairs with `loads[k]`).
+    pub loads: Vec<ObservedLoad>,
 }
 
 impl Observer {
@@ -57,6 +73,16 @@ impl Observer {
 }
 
 impl Hook for Observer {
+    fn on_load_value(&mut self, block_id: u32, tid_in_block: u32, addr: u32, pc: usize, value: u32) {
+        self.loads.push(ObservedLoad {
+            block: block_id,
+            tid_in_block,
+            addr,
+            pc,
+            value,
+        });
+    }
+
     fn on_mem_access(&mut self, access: &MemAccess<'_>, _clock: &mut Clock) {
         if access.space != Space::Global {
             return;

@@ -7,6 +7,7 @@
 //! to a fixpoint, so the result is 1-minimal: removing any single remaining
 //! op changes the verdict.
 
+use crate::litmus::{Cond, LitmusOp, LitmusSpec};
 use crate::spec::KernelSpec;
 
 /// Shrinks `spec` while `still_interesting` holds. The predicate is only
@@ -37,6 +38,113 @@ where
             return best;
         }
     }
+}
+
+/// Shrinks a `v2` litmus spec while `still_interesting` holds, to the
+/// same greedy 1-minimal fixpoint as [`shrink_spec`]. Three move kinds,
+/// tried in order of how much they delete:
+///
+/// 1. drop a whole actor (down to 2), renumbering assertion actor refs;
+/// 2. drop one op from one actor (never emptying it), dropping/renumbering
+///    assertion refs to the deleted load;
+/// 3. drop one assertion conjunct.
+///
+/// Every candidate passed to the predicate is structurally valid.
+pub fn shrink_litmus<F>(spec: &LitmusSpec, mut still_interesting: F) -> LitmusSpec
+where
+    F: FnMut(&LitmusSpec) -> bool,
+{
+    let mut best = spec.clone();
+    loop {
+        let mut improved = false;
+        'outer: {
+            // Move 1: delete an entire actor.
+            if best.actors.len() > 2 {
+                for a in 0..best.actors.len() {
+                    let cand = drop_actor(&best, a);
+                    if still_interesting(&cand) {
+                        best = cand;
+                        improved = true;
+                        break 'outer;
+                    }
+                }
+            }
+            // Move 2: delete one op.
+            for a in 0..best.actors.len() {
+                if best.actors[a].len() == 1 {
+                    continue;
+                }
+                for i in 0..best.actors[a].len() {
+                    let cand = drop_op(&best, a, i);
+                    if still_interesting(&cand) {
+                        best = cand;
+                        improved = true;
+                        break 'outer;
+                    }
+                }
+            }
+            // Move 3: delete one assertion conjunct.
+            for c in 0..best.assertion.len() {
+                let mut cand = best.clone();
+                cand.assertion.remove(c);
+                if still_interesting(&cand) {
+                    best = cand;
+                    improved = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !improved {
+            debug_assert!(best.validate().is_ok());
+            return best;
+        }
+    }
+}
+
+/// `spec` minus actor `a`, with assertion actor refs renumbered and refs
+/// to the deleted actor dropped.
+fn drop_actor(spec: &LitmusSpec, a: usize) -> LitmusSpec {
+    let mut cand = spec.clone();
+    cand.actors.remove(a);
+    cand.assertion.retain_mut(|c| match c {
+        Cond::Reg { actor, .. } => match (*actor as usize).cmp(&a) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => false,
+            std::cmp::Ordering::Greater => {
+                *actor -= 1;
+                true
+            }
+        },
+        Cond::Mem { .. } => true,
+    });
+    cand
+}
+
+/// `spec` minus op `i` of actor `a`, with assertion load ordinals
+/// adjusted when the deleted op was a plain load.
+fn drop_op(spec: &LitmusSpec, a: usize, i: usize) -> LitmusSpec {
+    let mut cand = spec.clone();
+    let removed = cand.actors[a].remove(i);
+    if matches!(removed, LitmusOp::Load { .. }) {
+        let removed_ord = spec.actors[a][..i]
+            .iter()
+            .filter(|o| matches!(o, LitmusOp::Load { .. }))
+            .count();
+        cand.assertion.retain_mut(|c| match c {
+            Cond::Reg { actor, load, .. } if *actor as usize == a => {
+                match (*load as usize).cmp(&removed_ord) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => false,
+                    std::cmp::Ordering::Greater => {
+                        *load -= 1;
+                        true
+                    }
+                }
+            }
+            _ => true,
+        });
+    }
+    cand
 }
 
 #[cfg(test)]
@@ -102,5 +210,45 @@ mod tests {
         let thin = shrink_spec(&spec(vec![Op::Load { slot: 0 }; 3], vec![Op::Store { slot: 0 }]), always);
         assert_eq!(thin.actors[0].len(), 1);
         assert_eq!(thin.actors[1].len(), 1);
+    }
+
+    #[test]
+    fn litmus_shrink_drops_actors_ops_and_conds() {
+        // Interesting = actor holding `Sx` and an actor with a load of x
+        // still exist. Everything else must shrink away.
+        let fat = LitmusSpec::parse("v2;CB;Sx.Sy.fD/Lz.Lx/Sz.Su;?1:r0=0&1:r1=0&[y]=1")
+            .unwrap();
+        let pred = |s: &LitmusSpec| {
+            s.validate().is_ok()
+                && s.actors.iter().any(|a| a.contains(&LitmusOp::Store { loc: 0 }))
+                && s.actors
+                    .iter()
+                    .any(|a| a.contains(&LitmusOp::Load { loc: 0 }))
+        };
+        assert!(pred(&fat));
+        let thin = shrink_litmus(&fat, pred);
+        assert!(pred(&thin));
+        thin.validate().unwrap();
+        assert_eq!(thin.actors.len(), 2);
+        assert_eq!(thin.actors[0], vec![LitmusOp::Store { loc: 0 }]);
+        assert_eq!(thin.actors[1], vec![LitmusOp::Load { loc: 0 }]);
+        assert!(thin.assertion.is_empty());
+    }
+
+    #[test]
+    fn litmus_shrink_renumbers_assertion_refs() {
+        // Predicate pins the cond on actor 2's second load; shrinking must
+        // keep that cond valid while deleting the other actor/ops.
+        let fat = LitmusSpec::parse("v2;CB;Sx/Sy/Lz.Ly.Lx;?2:r2=0").unwrap();
+        let pred = |s: &LitmusSpec| {
+            s.validate().is_ok()
+                && s.assertion
+                    .iter()
+                    .any(|c| matches!(c, Cond::Reg { value: 0, .. }))
+        };
+        let thin = shrink_litmus(&fat, pred);
+        thin.validate().unwrap();
+        assert_eq!(thin.actors.len(), 2, "{}", thin.to_compact_string());
+        assert_eq!(thin.assertion.len(), 1);
     }
 }

@@ -6,12 +6,17 @@
 //!    harness, this test pins them unconditionally);
 //! 2. the oracle regression corpus `tests/corpus/oracle_v1.corpus`:
 //!    every pinned kernel's ground-truth verdict, witness schedule
-//!    replay, and iGUARD verdict must still hold.
+//!    replay, and iGUARD verdict must still hold;
+//! 3. the weak-memory litmus corpus `tests/corpus/litmus_v2.corpus`:
+//!    every pinned litmus test's race verdict, assertion classification
+//!    (unreachable / SC-reachable / weak-only), witness replay on the
+//!    weak machine, and both detectors' explained divergences.
 //!
-//! Regenerate the corpus after a *deliberate* semantic change with:
+//! Regenerate a corpus after a *deliberate* semantic change with:
 //!
 //! ```text
 //! ORACLE_CORPUS_REGEN=1 cargo test --release --test regressions_replay
+//! LITMUS_CORPUS_REGEN=1 cargo test --release --test regressions_replay
 //! ```
 
 use iguard_repro::gpu_sim::machine::{Gpu, GpuConfig};
@@ -19,12 +24,18 @@ use iguard_repro::gpu_sim::prelude::*;
 use iguard_repro::iguard::Iguard;
 use iguard_repro::nvbit_sim::Instrumented;
 use iguard_repro::oracle::corpus;
-use iguard_repro::oracle::diff::DiffConfig;
+use iguard_repro::oracle::diff::{diff_litmus, DiffConfig};
+use iguard_repro::oracle::litmus::LitmusSpec;
 use iguard_repro::oracle::spec::KernelSpec;
 
 const CORPUS_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/corpus/oracle_v1.corpus"
+);
+
+const LITMUS_CORPUS_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/corpus/litmus_v2.corpus"
 );
 
 /// The shrunk case from `fuzz_test.proptest-regressions`: two phases with
@@ -127,4 +138,151 @@ fn oracle_corpus_replays_deterministically() {
         }
     }
     assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// The pinned litmus battery: MP, SB, LB, IRIW and WRC at every fence
+/// scope (none / `.cta` / `.gpu`), the same-warp placements, the atomic
+/// variants, and the detector false-negative shapes the weak plane
+/// exposes. Each string is the exact compact form the corpus pins.
+fn litmus_corpus_specs() -> Vec<LitmusSpec> {
+    [
+        // Message passing at each fence scope. The assertion is the
+        // MP-forbidden outcome (saw the flag, missed the payload).
+        "v2;CB;Sx.Sy/Ly.Lx;?1:r0=1&1:r1=0",
+        "v2;CB;Sx.fB.Sy/Ly.fB.Lx;?1:r0=1&1:r1=0",
+        "v2;CB;Sx.fD.Sy/Ly.fD.Lx;?1:r0=1&1:r1=0",
+        // Store buffering: both readers miss the other store.
+        "v2;CB;Sx.Ly/Sy.Lx;?0:r0=0&1:r0=0",
+        "v2;CB;Sx.fB.Ly/Sy.fB.Lx;?0:r0=0&1:r0=0",
+        "v2;CB;Sx.fD.Ly/Sy.fD.Lx;?0:r0=0&1:r0=0",
+        // Load buffering: both loads see the other's later store
+        // (unreachable in an in-order pipeline at any scope).
+        "v2;CB;Lx.Sy/Ly.Sx;?0:r0=1&1:r0=1",
+        "v2;CB;Lx.fB.Sy/Ly.fB.Sx;?0:r0=1&1:r0=1",
+        "v2;CB;Lx.fD.Sy/Ly.fD.Sx;?0:r0=1&1:r0=1",
+        // IRIW: the two readers disagree on the store order. Reader
+        // fences do not restore multi-copy atomicity (non-cumulative).
+        "v2;CB;Sx/Sy/Lx.Ly/Ly.Lx;?2:r0=1&2:r1=0&3:r0=1&3:r1=0",
+        "v2;CB;Sx/Sy/Lx.fB.Ly/Ly.fB.Lx;?2:r0=1&2:r1=0&3:r0=1&3:r1=0",
+        "v2;CB;Sx/Sy/Lx.fD.Ly/Ly.fD.Lx;?2:r0=1&2:r1=0&3:r0=1&3:r1=0",
+        // Write-to-read causality, unfenced and fenced.
+        "v2;CB;Sx/Lx.Sy/Ly.Lx;?1:r0=1&2:r0=1&2:r1=0",
+        "v2;CB;Sx/Lx.fD.Sy/Ly.fD.Lx;?1:r0=1&2:r0=1&2:r1=0",
+        // Same-warp placements: one L1, always sequentially consistent.
+        "v2;SW;Sx.Sy/Ly.Lx;?1:r0=1&1:r1=0",
+        "v2;SW;Sx.Ly/Sy.Lx;?0:r0=0&1:r0=0",
+        // Stale re-read: the reader revisits its own stale clean line
+        // even though the writer fenced at device scope.
+        "v2;CB;Sx.fD.Sy/Lx.Ly.Lx;?1:r1=1&1:r2=0",
+        // Detector false negatives beyond the paper's six races: device
+        // atomics paired with plain loads are race-free under the P6
+        // rule, yet the weak plane still reaches the forbidden outcome.
+        "v2;CB;eDx.eDy/Lx.Ly.Lx;?1:r1=1&1:r2=0",
+        "v2;CB;eDx.fD.eDy/Lx.Ly.Lx;?1:r1=1&1:r2=0",
+        // Atomic MP variants: device scope clean, block scope an AS race.
+        "v2;CB;eDx.eDy/Ly.Lx;?1:r0=1&1:r1=0",
+        "v2;CB;eBx.eBy/Ly.Lx;?1:r0=1&1:r1=0",
+        // SB with atomic stores.
+        "v2;CB;aDx.Ly/aDy.Lx;?0:r0=0&1:r0=0",
+        // Three-writer coherence on one location.
+        "v2;CB;Sx/Sx/Lx.Lx",
+        // IRIW with atomic writers (readers stay plain).
+        "v2;CB;eDx/eDy/Lx.Ly/Ly.Lx;?2:r0=1&2:r1=0&3:r0=1&3:r1=0",
+    ]
+    .iter()
+    .map(|s| {
+        let spec = LitmusSpec::parse(s).expect("litmus corpus spec parses");
+        assert_eq!(spec.to_compact_string(), *s, "non-canonical corpus string");
+        spec
+    })
+    .collect()
+}
+
+#[test]
+fn litmus_corpus_replays_deterministically() {
+    let cfg = DiffConfig::default();
+
+    if std::env::var_os("LITMUS_CORPUS_REGEN").is_some() {
+        let entries: Vec<_> = litmus_corpus_specs()
+            .iter()
+            .map(|s| corpus::entry_for_litmus(s, &cfg))
+            .collect();
+        std::fs::create_dir_all(std::path::Path::new(LITMUS_CORPUS_PATH).parent().unwrap())
+            .unwrap();
+        std::fs::write(LITMUS_CORPUS_PATH, corpus::format_litmus(&entries))
+            .expect("write litmus corpus");
+        eprintln!(
+            "litmus corpus regenerated at {LITMUS_CORPUS_PATH} ({} entries)",
+            entries.len()
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(LITMUS_CORPUS_PATH)
+        .expect("litmus corpus missing; regenerate with LITMUS_CORPUS_REGEN=1");
+    let entries = corpus::parse_litmus(&text).expect("litmus corpus parses");
+    assert!(
+        entries.len() >= 20,
+        "litmus corpus must pin at least 20 entries, found {}",
+        entries.len()
+    );
+    assert!(
+        entries.len() >= litmus_corpus_specs().len(),
+        "litmus corpus lost entries: {} < {}",
+        entries.len(),
+        litmus_corpus_specs().len()
+    );
+    let mut failures = Vec::new();
+    for e in &entries {
+        // Every divergence in the pinned corpus must carry an explanation.
+        if e.explanations.iter().any(|x| x.contains("UNEXPLAINED")) {
+            failures.push(format!(
+                "{}: pinned entry carries an unexplained divergence",
+                e.spec.to_compact_string()
+            ));
+        }
+        if let Err(msg) = corpus::verify_litmus(e, &cfg) {
+            failures.push(msg);
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// Pins the detector false-negative classes the weak-memory plane
+/// demonstrates *beyond* the paper's six race classes: a program iGUARD
+/// correctly calls race-free (device-scope atomic writes vs plain loads,
+/// the P6 flag-polling idiom) still reaches an assertion-violating
+/// outcome under relaxed visibility. Unfenced, the divergence classifies
+/// `visibility-blind`; with a device fence in the writer it classifies
+/// `fence-scope-approximation` — the fence cannot invalidate the
+/// reader's stale clean line.
+#[test]
+fn weak_plane_false_negative_classes_are_pinned() {
+    let cfg = DiffConfig::default();
+    for (spec_str, class) in [
+        ("v2;CB;eDx.eDy/Lx.Ly.Lx;?1:r1=1&1:r2=0", "visibility-blind"),
+        (
+            "v2;CB;eDx.fD.eDy/Lx.Ly.Lx;?1:r1=1&1:r2=0",
+            "fence-scope-approximation",
+        ),
+    ] {
+        let spec = LitmusSpec::parse(spec_str).unwrap();
+        let r = diff_litmus(&spec, &cfg);
+        assert!(!r.oracle.racy, "{spec_str}: must be race-free under the oracle");
+        let a = r.oracle.assertion.as_ref().expect("assertion verdict");
+        assert!(
+            a.reachable && !a.sc_reachable,
+            "{spec_str}: violation must be weak-only"
+        );
+        assert!(
+            r.unexplained().is_empty(),
+            "{spec_str}: FN divergence must be explained"
+        );
+        let iguard_fn = r
+            .divergences
+            .iter()
+            .find(|d| d.detector == "iguard")
+            .expect("iguard FN divergence present");
+        assert_eq!(iguard_fn.explanation, Some(class), "{spec_str}");
+    }
 }
