@@ -3,6 +3,12 @@
 # With --quick, additionally runs the perf-harness smoke: a 5-workload
 # `perf --quick` sweep whose JSON is validated by re-parsing (the binary
 # exits non-zero on malformed output).
+# With --perf, additionally runs the perf tier: the shard-determinism
+# suite, the perf smoke, and structural validation of the emitted
+# bench-pr7-v1 JSON (schema, host block, busy+idle==total per overlap
+# engine). Wall-clock speedup assertions are host-gated by the harness
+# itself (single-core boxes record but never compare), so this tier is
+# safe on any machine.
 # With --fuzz, additionally runs a time-boxed differential fuzz campaign
 # (generated kernels vs the schedule-space oracle vs both detectors); any
 # unexplained divergence fails the gate.
@@ -18,12 +24,14 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 QUICK=0
+PERF=0
 FUZZ=0
 CHAOS=0
 LITMUS=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
+    --perf) PERF=1 ;;
     --fuzz) FUZZ=1 ;;
     --chaos) CHAOS=1 ;;
     --litmus) LITMUS=1 ;;
@@ -43,7 +51,26 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "$QUICK" -eq 1 ]]; then
   echo "== perf smoke (--quick) =="
   cargo run --release -p bench --bin perf -- --quick --no-progress
-  test -s target/BENCH_PR2.quick.json || { echo "perf smoke: missing/empty JSON" >&2; exit 1; }
+  test -s target/BENCH_PR7.quick.json || { echo "perf smoke: missing/empty JSON" >&2; exit 1; }
+  cargo run --release -p bench --bin perf -- --validate target/BENCH_PR7.quick.json
+fi
+
+if [[ "$PERF" -eq 1 ]]; then
+  echo "== shard determinism suite (--perf) =="
+  cargo test -q -p bench --release --test shard_determinism
+  echo "== perf smoke (--perf) =="
+  cargo run --release -p bench --bin perf -- --quick --no-progress
+  echo "== perf JSON validation (--perf) =="
+  # Checks the schema tag, the host block on every recorded run, and the
+  # overlap invariants (busy + idle == total per engine, overlapped <=
+  # serial) on the file the smoke just wrote.
+  cargo run --release -p bench --bin perf -- --validate target/BENCH_PR7.quick.json
+  if [[ -s BENCH_PR7.json ]]; then
+    cargo run --release -p bench --bin perf -- --validate BENCH_PR7.json
+  fi
+  if [[ "$(nproc)" -lt 2 ]]; then
+    echo "perf tier: single-core host, skipping wall-clock speedup checks"
+  fi
 fi
 
 if [[ "$FUZZ" -eq 1 ]]; then

@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks of the sim→detect pipeline's drain hot
+//! path: what the bounded producer/consumer stage itself costs, and
+//! what a full sharded run pays versus the serial detector.
+//!
+//! ```text
+//! cargo bench -p bench --bench pipeline_drain
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::thread;
+
+use bench::{gpu_config, run_iguard_sharded_with, run_iguard_with, DEFAULT_SEED};
+use iguard::{IguardConfig, ShardConfig};
+use nvbit_sim::pipeline;
+use workloads::Size;
+
+/// Uncontended send+recv round trips on one thread: the pure queue
+/// overhead a shard batch pays with no blocking involved.
+fn bench_uncontended_queue(c: &mut Criterion) {
+    c.bench_function("pipeline_send_recv_1k_uncontended", |b| {
+        b.iter(|| {
+            let (tx, rx) = pipeline::bounded::<u32>(1024);
+            for i in 0..1024u32 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut acc = 0u64;
+            while let Some(v) = rx.recv() {
+                acc += u64::from(v);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+/// Cross-thread drain through a small queue: producer and consumer on
+/// separate threads with real backpressure — the threaded shard shape.
+fn bench_threaded_drain(c: &mut Criterion) {
+    c.bench_function("pipeline_drain_4k_cross_thread_cap64", |b| {
+        b.iter(|| {
+            let (tx, rx) = pipeline::bounded::<u64>(64);
+            let producer = thread::spawn(move || {
+                for i in 0..4096u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut acc = 0u64;
+            while let Some(v) = rx.recv() {
+                acc += v;
+            }
+            producer.join().unwrap();
+            black_box(acc)
+        });
+    });
+}
+
+/// End-to-end detection of one racey workload, serial vs sharded: the
+/// number `BENCH_PR7.json`'s shard sweep is made of, as a tracked
+/// microbenchmark.
+fn bench_detection_modes(c: &mut Criterion) {
+    let w = workloads::by_name("reduction").expect("reduction exists");
+    let mut g = c.benchmark_group("reduction_detect");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(run_iguard_with(
+                &w,
+                Size::Test,
+                gpu_config(DEFAULT_SEED),
+                IguardConfig::default(),
+            ))
+        });
+    });
+    g.bench_function("sharded4_inline", |b| {
+        b.iter(|| {
+            black_box(run_iguard_sharded_with(
+                &w,
+                Size::Test,
+                gpu_config(DEFAULT_SEED),
+                IguardConfig::default(),
+                ShardConfig::inline(4),
+            ))
+        });
+    });
+    g.bench_function("sharded4_threaded", |b| {
+        b.iter(|| {
+            black_box(run_iguard_sharded_with(
+                &w,
+                Size::Test,
+                gpu_config(DEFAULT_SEED),
+                IguardConfig::default(),
+                ShardConfig::threaded(4),
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended_queue,
+    bench_threaded_drain,
+    bench_detection_modes
+);
+criterion_main!(benches);

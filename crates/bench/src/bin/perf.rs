@@ -2,43 +2,56 @@
 //!
 //! Unlike every other bench binary — which reports *simulated* cycles —
 //! this one measures the reproduction itself: real wall-clock time per
-//! workload for the simulator→hook→detector pipeline, plus the detector's
-//! self-profiled phase breakdown (simulate / instrument / detect / UVM).
-//! Results land in `BENCH_PR2.json` at the repo root, under either the
-//! `"baseline"` key (`--record-baseline`, run once on the pre-optimization
-//! build) or the `"current"` key; when both are present the racey-sweep
-//! speedup is computed and recorded alongside.
+//! workload for the simulator→hook→detector pipeline, the detector's
+//! self-profiled phase breakdown (simulate / instrument / detect / UVM),
+//! a shard-count sweep of the threaded detector with per-pipe
+//! utilization, and the copy/compute overlap model's simulated-latency
+//! win. Results land in `BENCH_PR7.json` at the repo root, under either
+//! the `"baseline"` key (`--record-baseline`) or the `"current"` key.
+//!
+//! Every run records the host it was measured on (`host.cores`,
+//! `host.jobs`); the baseline/current speedup is only computed when the
+//! two host blocks match, so single-core CI numbers are never compared
+//! against multi-core runs. The PR 2 trajectory (`BENCH_PR2.json`,
+//! schema `bench-pr2-v1`) predates host recording and is carried along
+//! as an informational `pr2_reference` only.
 //!
 //! Usage:
 //!
 //! ```text
 //! perf [--record-baseline] [--label STR] [--reps N] [--out PATH] [--quick]
+//!      [--validate PATH]
 //!      [driver flags: --jobs N | --serial | --timeout-secs N | --no-progress]
 //! ```
 //!
-//! The sweep is fixed (every racey + every clean workload, Test size,
-//! default seed, ITS scheduling) so numbers are comparable across PRs.
-//! `--quick` runs a 5-workload subset to a scratch file — a CI smoke that
-//! exercises the harness and validates the JSON without touching the
-//! recorded trajectory. Timing methodology: `--reps N` (default 3) repeats
-//! the sweep and keeps each workload's *minimum* wall time (least
-//! scheduler noise); a second profiled pass collects the phase breakdown
-//! without contaminating the timing pass with `Instant` reads.
+//! `--quick` runs a 5-workload subset (and a single-point shard sweep)
+//! to a scratch file — a CI smoke that exercises the harness and
+//! validates the JSON without touching the recorded trajectory.
+//! `--validate PATH` parses an existing trajectory file and checks the
+//! schema plus the overlap accounting invariants (`busy + idle ==
+//! total` per engine, `overlapped <= serial`), exiting non-zero on any
+//! violation. Timing methodology: `--reps N` (default 3) repeats the
+//! sweep and keeps each workload's *minimum* wall time; a second
+//! profiled pass collects the phase breakdown without contaminating the
+//! timing pass with `Instant` reads.
 
 use std::time::Duration;
 
 use bench::perfjson::{self, Value};
-use bench::{run_jobs, DriverConfig, Job, Outcome, DEFAULT_SEED};
+use bench::{available_jobs, run_jobs, DriverConfig, Job, Outcome, DEFAULT_SEED};
 use gpu_sim::machine::GpuConfig;
+use gpu_sim::overlap::{self, CopyModel, OverlapReport, Segment, ENGINE_NAMES};
 use gpu_sim::timing::PhaseTimes;
-use iguard::IguardConfig;
+use iguard::{IguardConfig, ShardConfig};
+use nvbit_sim::pipeline::PipeStats;
 use workloads::{Size, Workload};
 
-const DEFAULT_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+const DEFAULT_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
 const QUICK_OUT: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/../../target/BENCH_PR2.quick.json"
+    "/../../target/BENCH_PR7.quick.json"
 );
+const PR2_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
 
 struct Args {
     quick: bool,
@@ -46,6 +59,7 @@ struct Args {
     label: Option<String>,
     reps: usize,
     out: Option<String>,
+    validate: Option<String>,
 }
 
 fn parse_args(rest: Vec<String>) -> Args {
@@ -55,6 +69,7 @@ fn parse_args(rest: Vec<String>) -> Args {
         label: None,
         reps: 0,
         out: None,
+        validate: None,
     };
     let mut it = rest.into_iter();
     while let Some(a) = it.next() {
@@ -69,6 +84,12 @@ fn parse_args(rest: Vec<String>) -> Args {
                     .unwrap_or_else(|| usage("--reps expects a number"));
             }
             "--out" => args.out = it.next(),
+            "--validate" => {
+                args.validate = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--validate expects a path")),
+                );
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -85,7 +106,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: perf [--record-baseline] [--label STR] [--reps N] [--out PATH] [--quick]\n\
-         \x20           [--jobs N | --serial] [--timeout-secs N] [--no-progress]"
+         \x20           [--validate PATH] [--jobs N | --serial] [--timeout-secs N] [--no-progress]"
     );
     std::process::exit(2);
 }
@@ -100,6 +121,10 @@ struct Measured {
     accesses: u64,
     /// Phase breakdown from the profiled pass.
     phases: PhaseTimes,
+    /// Copy/compute overlap schedule (deterministic across reps).
+    overlap: OverlapReport,
+    /// Raw timeline segments, for the streamed-sweep reschedule.
+    segments: Vec<Segment>,
 }
 
 fn sweep(quick: bool) -> Vec<(Workload, bool)> {
@@ -121,45 +146,115 @@ fn perf_gpu_config(profile: bool) -> GpuConfig {
     }
 }
 
-/// Runs the full sweep once; returns per-workload (wall, accesses, phases).
-fn run_sweep(
-    set: &[(Workload, bool)],
-    cfg: &DriverConfig,
-    profile: bool,
-) -> Vec<(Duration, u64, PhaseTimes)> {
-    let jobs: Vec<Job<(u64, PhaseTimes)>> = set
+/// Unwraps a driver outcome or exits with a diagnostic.
+fn expect_done<T>(outcome: Outcome<T>, name: &str) -> (Duration, T) {
+    match outcome {
+        Outcome::Done { value, elapsed } => (elapsed, value),
+        Outcome::Panicked { message, .. } => {
+            eprintln!("perf: job `{name}` panicked: {message}");
+            std::process::exit(1);
+        }
+        Outcome::TimedOut { elapsed } => {
+            eprintln!(
+                "perf: job `{name}` exceeded the {:.0}s deadline",
+                elapsed.as_secs_f64()
+            );
+            std::process::exit(1);
+        }
+        Outcome::Faulted { message, .. } => {
+            eprintln!("perf: job `{name}` hit an injected fault: {message}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs the serial-detector sweep once; per workload: wall, accesses,
+/// phases, overlap.
+type MeasuredRow = (u64, PhaseTimes, OverlapReport, Vec<Segment>);
+type SweepRow = (Duration, u64, PhaseTimes, OverlapReport, Vec<Segment>);
+
+fn run_sweep(set: &[(Workload, bool)], cfg: &DriverConfig, profile: bool) -> Vec<SweepRow> {
+    let jobs: Vec<Job<MeasuredRow>> = set
         .iter()
         .map(|(w, _)| {
             let w = *w;
             let label = format!("{}/perf profile={profile}", w.name);
             Job::custom(label, move || {
-                let r =
-                    bench::run_iguard_with(&w, Size::Test, perf_gpu_config(profile), IguardConfig::default());
-                (r.stats.accesses, r.stats_exec.phases)
+                let r = bench::run_iguard_with(
+                    &w,
+                    Size::Test,
+                    perf_gpu_config(profile),
+                    IguardConfig::default(),
+                );
+                (r.stats.accesses, r.stats_exec.phases, r.overlap, r.overlap_segments)
             })
         })
         .collect();
     run_jobs(jobs, cfg)
         .into_iter()
         .enumerate()
-        .map(|(i, o)| match o {
-            Outcome::Done { value, elapsed } => (elapsed, value.0, value.1),
-            Outcome::Panicked { message, .. } => {
-                eprintln!("perf: job `{}` panicked: {message}", set[i].0.name);
-                std::process::exit(1);
+        .map(|(i, o)| {
+            let (elapsed, (accesses, phases, overlap, segments)) = expect_done(o, set[i].0.name);
+            (elapsed, accesses, phases, overlap, segments)
+        })
+        .collect()
+}
+
+/// One shard-sweep point: the racey set under the threaded sharded
+/// detector, with pipe counters summed across shards and workloads.
+struct SweepPoint {
+    shards: usize,
+    wall: Duration,
+    pipe: PipeStats,
+}
+
+fn run_shard_sweep(
+    racey: &[(Workload, bool)],
+    cfg: &DriverConfig,
+    shard_counts: &[usize],
+) -> Vec<SweepPoint> {
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let jobs: Vec<Job<PipeStats>> = racey
+                .iter()
+                .map(|(w, _)| {
+                    let w = *w;
+                    let label = format!("{}/shards={shards}", w.name);
+                    Job::custom(label, move || {
+                        let r = bench::run_iguard_sharded_with(
+                            &w,
+                            Size::Test,
+                            perf_gpu_config(false),
+                            IguardConfig::default(),
+                            ShardConfig::threaded(shards),
+                        );
+                        let mut total = PipeStats::default();
+                        for p in &r.pipe {
+                            total.pushed += p.pushed;
+                            total.popped += p.popped;
+                            total.blocked_sends += p.blocked_sends;
+                            total.producer_wait_ns += p.producer_wait_ns;
+                            total.consumer_wait_ns += p.consumer_wait_ns;
+                            total.max_depth = total.max_depth.max(p.max_depth);
+                        }
+                        total
+                    })
+                })
+                .collect();
+            let mut wall = Duration::ZERO;
+            let mut pipe = PipeStats::default();
+            for (i, o) in run_jobs(jobs, cfg).into_iter().enumerate() {
+                let (elapsed, p) = expect_done(o, racey[i].0.name);
+                wall += elapsed;
+                pipe.pushed += p.pushed;
+                pipe.popped += p.popped;
+                pipe.blocked_sends += p.blocked_sends;
+                pipe.producer_wait_ns += p.producer_wait_ns;
+                pipe.consumer_wait_ns += p.consumer_wait_ns;
+                pipe.max_depth = pipe.max_depth.max(p.max_depth);
             }
-            Outcome::TimedOut { elapsed } => {
-                eprintln!(
-                    "perf: job `{}` exceeded the {:.0}s deadline",
-                    set[i].0.name,
-                    elapsed.as_secs_f64()
-                );
-                std::process::exit(1);
-            }
-            Outcome::Faulted { message, .. } => {
-                eprintln!("perf: job `{}` hit an injected fault: {message}", set[i].0.name);
-                std::process::exit(1);
-            }
+            SweepPoint { shards, wall, pipe }
         })
         .collect()
 }
@@ -179,6 +274,31 @@ fn phases_value(p: &PhaseTimes) -> Value {
     v.set("instrument_ms", Value::Num(ns_to_ms(p.instrument_ns())));
     v.set("detect_ms", Value::Num(ns_to_ms(p.detect_exclusive_ns())));
     v.set("uvm_ms", Value::Num(ns_to_ms(p.uvm_ns)));
+    v
+}
+
+fn overlap_value(name: &str, r: &OverlapReport) -> Value {
+    let mut v = Value::obj();
+    v.set("name", Value::Str(name.to_string()));
+    v.set("segments", Value::Num(r.segments as f64));
+    v.set("serial_cycles", Value::Num(r.serial_cycles as f64));
+    v.set("overlapped_cycles", Value::Num(r.overlapped_cycles as f64));
+    v.set("saved_cycles", Value::Num(r.saved_cycles() as f64));
+    v.set("speedup", Value::Num(r.speedup()));
+    let engines = r
+        .engines
+        .iter()
+        .zip(ENGINE_NAMES)
+        .map(|(lane, name)| {
+            let mut e = Value::obj();
+            e.set("name", Value::Str(name.into()));
+            e.set("busy", Value::Num(lane.busy as f64));
+            e.set("idle", Value::Num(lane.idle as f64));
+            e.set("utilization_pct", Value::Num(lane.utilization_pct()));
+            e
+        })
+        .collect();
+    v.set("engines", Value::Arr(engines));
     v
 }
 
@@ -230,25 +350,43 @@ fn run_value(results: &[Measured], args: &Args, cfg: &DriverConfig) -> Value {
     }
     run.set("quick", Value::Bool(args.quick));
     run.set("reps", Value::Num(args.reps as f64));
-    run.set("jobs", Value::Num(cfg.jobs as f64));
+    run.set("host", perfjson::host_info(available_jobs(), cfg.jobs));
     run.set("workloads", Value::Arr(workloads_arr));
     run.set("totals", totals);
     run
 }
 
 fn total_of(doc: &Value, run_key: &str, total_key: &str) -> Option<f64> {
-    doc.get(run_key)?
-        .get("totals")?
-        .get(total_key)?
-        .as_f64()
+    doc.get(run_key)?.get("totals")?.get(total_key)?.as_f64()
+}
+
+fn validate_file(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = perfjson::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perf: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = perfjson::validate_pr7(&doc) {
+        eprintln!("perf: {path} fails {} validation: {e}", perfjson::SCHEMA_PR7);
+        std::process::exit(1);
+    }
+    println!("perf: {path} is valid {}", perfjson::SCHEMA_PR7);
+    std::process::exit(0);
 }
 
 fn main() {
     let (driver_cfg, rest) = DriverConfig::from_env();
     let args = parse_args(rest);
-    let out_path = args.out.clone().unwrap_or_else(|| {
-        (if args.quick { QUICK_OUT } else { DEFAULT_OUT }).to_string()
-    });
+    if let Some(path) = &args.validate {
+        validate_file(path);
+    }
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| (if args.quick { QUICK_OUT } else { DEFAULT_OUT }).to_string());
 
     let set = sweep(args.quick);
     eprintln!(
@@ -262,36 +400,48 @@ fn main() {
     for rep in 0..args.reps {
         let pass = run_sweep(&set, &driver_cfg, false);
         if rep == 0 {
-            best = pass.iter().map(|(d, a, _)| (*d, *a)).collect();
+            best = pass.iter().map(|(d, a, _, _, _)| (*d, *a)).collect();
         } else {
-            for (b, (d, _, _)) in best.iter_mut().zip(&pass) {
+            for (b, (d, _, _, _, _)) in best.iter_mut().zip(&pass) {
                 b.0 = b.0.min(*d);
             }
         }
     }
 
-    // Profiled pass: phase breakdown only.
+    // Profiled pass: phase breakdown + the deterministic overlap model.
     let profiled = run_sweep(&set, &driver_cfg, true);
 
     let results: Vec<Measured> = set
         .iter()
-        .zip(best.iter().zip(&profiled))
-        .map(|((w, racey), (&(wall, accesses), &(_, _, phases)))| Measured {
-            name: w.name,
-            racey: *racey,
-            wall,
-            accesses,
-            phases,
-        })
+        .zip(best.iter().zip(profiled))
+        .map(
+            |((w, racey), (&(wall, accesses), (_, _, phases, overlap, segments)))| Measured {
+                name: w.name,
+                racey: *racey,
+                wall,
+                accesses,
+                phases,
+                overlap,
+                segments,
+            },
+        )
         .collect();
+
+    // Shard sweep: the racey set under the threaded sharded detector.
+    let racey_set: Vec<(Workload, bool)> = set.iter().filter(|(_, r)| *r).cloned().collect();
+    let shard_counts: &[usize] = if args.quick { &[2] } else { &[1, 2, 4, 8] };
+    eprintln!("perf: shard sweep over {:?} (threaded, racey set)", shard_counts);
+    let sweep_points = run_shard_sweep(&racey_set, &driver_cfg, shard_counts);
+    let serial_racey_wall: Duration = results.iter().filter(|m| m.racey).map(|m| m.wall).sum();
 
     // Merge into the existing trajectory file (if any).
     let mut doc = std::fs::read_to_string(&out_path)
         .ok()
         .and_then(|t| perfjson::parse(&t).ok())
+        .filter(|d| d.get("schema").and_then(Value::as_str) == Some(perfjson::SCHEMA_PR7))
         .unwrap_or_else(|| {
             let mut d = Value::obj();
-            d.set("schema", Value::Str("bench-pr2-v1".into()));
+            d.set("schema", Value::Str(perfjson::SCHEMA_PR7.into()));
             d
         });
     let run_key = if args.record_baseline {
@@ -300,24 +450,173 @@ fn main() {
         "current"
     };
     doc.set(run_key, run_value(&results, &args, &driver_cfg));
-    for key in ["racey_wall_ms", "all_wall_ms"] {
-        let (Some(base), Some(cur)) = (total_of(&doc, "baseline", key), total_of(&doc, "current", key))
-        else {
-            continue;
-        };
-        let mut speedup = match doc.get("speedup") {
-            Some(v @ Value::Obj(_)) => v.clone(),
-            _ => Value::obj(),
-        };
-        speedup.set(
-            key.replace("_wall_ms", "_speedup").as_str(),
-            Value::Num(base / cur.max(1e-9)),
-        );
+
+    // Baseline/current speedup — only when both runs came from the same
+    // host shape (cores + jobs), so the comparison is meaningful.
+    if let (Some(base_run), Some(cur_run)) = (doc.get("baseline"), doc.get("current")) {
+        let comparable = perfjson::hosts_comparable(base_run, cur_run);
+        let mut speedup = Value::obj();
+        speedup.set("comparable", Value::Bool(comparable));
+        if comparable {
+            for key in ["racey_wall_ms", "all_wall_ms"] {
+                if let (Some(base), Some(cur)) =
+                    (total_of(&doc, "baseline", key), total_of(&doc, "current", key))
+                {
+                    speedup.set(
+                        key.replace("_wall_ms", "_speedup").as_str(),
+                        Value::Num(base / cur.max(1e-9)),
+                    );
+                }
+            }
+        } else {
+            speedup.set(
+                "note",
+                Value::Str(
+                    "baseline and current were measured on different host shapes; \
+                     wall-clock speedup not computed"
+                        .into(),
+                ),
+            );
+        }
         doc.set("speedup", speedup);
     }
 
+    // Informational PR 2 reference: its schema predates host recording,
+    // so the number is context, not a comparison target.
+    if let Some(pr2_racey) = std::fs::read_to_string(PR2_PATH)
+        .ok()
+        .and_then(|t| perfjson::parse(&t).ok())
+        .and_then(|d| total_of(&d, "current", "racey_wall_ms"))
+    {
+        let mut pr2 = Value::obj();
+        pr2.set("racey_wall_ms", Value::Num(pr2_racey));
+        pr2.set(
+            "note",
+            Value::Str(
+                "from BENCH_PR2.json (schema bench-pr2-v1, no host block); informational only"
+                    .into(),
+            ),
+        );
+        doc.set("pr2_reference", pr2);
+    }
+
+    // Shard sweep section.
+    {
+        let mut sweep_v = Value::obj();
+        sweep_v.set("workload_set", Value::Str("racey".into()));
+        sweep_v.set("mode", Value::Str("threaded".into()));
+        sweep_v.set("host", perfjson::host_info(available_jobs(), driver_cfg.jobs));
+        sweep_v.set("serial_wall_ms", Value::Num(ms(serial_racey_wall)));
+        let entries = sweep_points
+            .iter()
+            .map(|p| {
+                let mut e = Value::obj();
+                e.set("shards", Value::Num(p.shards as f64));
+                e.set("wall_ms", Value::Num(ms(p.wall)));
+                e.set(
+                    "speedup_vs_serial",
+                    Value::Num(ms(serial_racey_wall) / ms(p.wall).max(1e-9)),
+                );
+                let wall_ns = p.wall.as_nanos() as f64;
+                let mut pipe = Value::obj();
+                pipe.set("pushed", Value::Num(p.pipe.pushed as f64));
+                pipe.set("popped", Value::Num(p.pipe.popped as f64));
+                pipe.set("blocked_sends", Value::Num(p.pipe.blocked_sends as f64));
+                pipe.set(
+                    "producer_wait_ms",
+                    Value::Num(ns_to_ms(p.pipe.producer_wait_ns)),
+                );
+                pipe.set(
+                    "consumer_wait_ms",
+                    Value::Num(ns_to_ms(p.pipe.consumer_wait_ns)),
+                );
+                pipe.set("max_depth", Value::Num(p.pipe.max_depth as f64));
+                // Producer utilization: share of the sweep wall the
+                // simulation thread was *not* blocked on full queues.
+                pipe.set(
+                    "producer_utilization_pct",
+                    Value::Num(
+                        100.0 * (1.0 - (p.pipe.producer_wait_ns as f64 / wall_ns).min(1.0)),
+                    ),
+                );
+                e.set("pipeline", pipe);
+                e
+            })
+            .collect();
+        sweep_v.set("entries", Value::Arr(entries));
+        doc.set("shard_sweep", sweep_v);
+    }
+
+    // Overlap model section (per racey workload + aggregate).
+    {
+        let model = CopyModel::default();
+        let mut overlap_v = Value::obj();
+        let mut m = Value::obj();
+        m.set("h2d_cycles_per_word", Value::Num(model.h2d_cycles_per_word as f64));
+        m.set("d2h_cycles_per_word", Value::Num(model.d2h_cycles_per_word as f64));
+        m.set("fixed_per_transfer", Value::Num(model.fixed_per_transfer as f64));
+        overlap_v.set("model", m);
+        let mut serial_total = 0u64;
+        let mut overlapped_total = 0u64;
+        let entries: Vec<Value> = results
+            .iter()
+            .filter(|r| r.racey)
+            .map(|r| {
+                serial_total += r.overlap.serial_cycles;
+                overlapped_total += r.overlap.overlapped_cycles;
+                overlap_value(r.name, &r.overlap)
+            })
+            .collect();
+        overlap_v.set("workloads", Value::Arr(entries));
+
+        // The streamed sweep: every racey workload's segments back to
+        // back through one three-engine pipeline, so workload i's
+        // report-drain D2H and workload i+1's upload overlap workload
+        // kernels. This is the deterministic simulated-latency win the
+        // single-launch per-workload schedules cannot show on their own.
+        let streamed_segments: Vec<Segment> = results
+            .iter()
+            .filter(|r| r.racey)
+            .flat_map(|r| r.segments.iter().cloned())
+            .collect();
+        let streamed = overlap::schedule(&streamed_segments, &model);
+        let mut streamed_v = overlap_value("racey-sweep-streamed", &streamed);
+        streamed_v.set(
+            "note",
+            Value::Str(
+                "all racey workloads' segments scheduled through one                  H2D/kernel/D2H pipeline back to back"
+                    .into(),
+            ),
+        );
+        overlap_v.set("pipelined_sweep", streamed_v);
+
+        let mut totals = Value::obj();
+        totals.set("per_workload_serial_cycles", Value::Num(serial_total as f64));
+        totals.set(
+            "per_workload_overlapped_cycles",
+            Value::Num(overlapped_total as f64),
+        );
+        totals.set("serial_cycles", Value::Num(streamed.serial_cycles as f64));
+        totals.set(
+            "overlapped_cycles",
+            Value::Num(streamed.overlapped_cycles as f64),
+        );
+        totals.set("saved_cycles", Value::Num(streamed.saved_cycles() as f64));
+        totals.set(
+            "reduction_pct",
+            Value::Num(if streamed.serial_cycles == 0 {
+                0.0
+            } else {
+                100.0 * streamed.saved_cycles() as f64 / streamed.serial_cycles as f64
+            }),
+        );
+        overlap_v.set("totals", totals);
+        doc.set("overlap", overlap_v);
+    }
+
     let rendered = doc.pretty();
-    perfjson::parse(&rendered).expect("emitted JSON must re-parse");
+    let reparsed = perfjson::parse(&rendered).expect("emitted JSON must re-parse");
+    perfjson::validate_pr7(&reparsed).expect("emitted document must satisfy its own schema");
     if let Some(parent) = std::path::Path::new(&out_path).parent() {
         let _ = std::fs::create_dir_all(parent);
     }
@@ -345,8 +644,38 @@ fn main() {
     }
     let racey_ms: f64 = results.iter().filter(|m| m.racey).map(|m| ms(m.wall)).sum();
     let all_ms: f64 = results.iter().map(|m| ms(m.wall)).sum();
-    println!("racey wall total: {racey_ms:.2} ms   all wall total: {all_ms:.2} ms   ({run_key})");
-    if let Some(s) = doc.get("speedup").and_then(|s| s.get("racey_speedup")).and_then(Value::as_f64) {
+    println!(
+        "racey wall total: {racey_ms:.2} ms   all wall total: {all_ms:.2} ms   \
+         host {}c/{}j   ({run_key})",
+        available_jobs(),
+        driver_cfg.jobs
+    );
+    for p in &sweep_points {
+        println!(
+            "shards={:<2} racey wall {:>9.2} ms  speedup {:>5.2}x  \
+             blocked_sends={} producer_wait {:.2} ms max_depth={}",
+            p.shards,
+            ms(p.wall),
+            ms(serial_racey_wall) / ms(p.wall).max(1e-9),
+            p.pipe.blocked_sends,
+            ns_to_ms(p.pipe.producer_wait_ns),
+            p.pipe.max_depth,
+        );
+    }
+    if let Some(overlap) = doc.get("overlap").and_then(|o| o.get("totals")) {
+        let get = |k: &str| overlap.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        println!(
+            "overlap model: serial {:.0} cy -> overlapped {:.0} cy ({:.2}% saved)",
+            get("serial_cycles"),
+            get("overlapped_cycles"),
+            get("reduction_pct"),
+        );
+    }
+    if let Some(s) = doc
+        .get("speedup")
+        .and_then(|s| s.get("racey_speedup"))
+        .and_then(Value::as_f64)
+    {
         println!("racey-sweep speedup vs baseline: {s:.2}x");
     }
 }

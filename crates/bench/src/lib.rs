@@ -17,8 +17,10 @@ pub mod perfjson;
 use barracuda::{Barracuda, BarracudaConfig, BarracudaFailure, BinaryKind};
 use gpu_sim::hook::{ExecMode, NullHook};
 use gpu_sim::machine::{Gpu, GpuConfig, LaunchStats};
+use gpu_sim::overlap::{CopyModel, OverlapReport, Segment};
 use gpu_sim::timing::{CostCategory, COST_CATEGORIES};
-use iguard::{Iguard, IguardConfig, RaceSite};
+use iguard::{Iguard, IguardConfig, RaceSite, ShardConfig, ShardedIguard};
+use nvbit_sim::pipeline::PipeStats;
 use nvbit_sim::Instrumented;
 use workloads::{Size, Workload};
 
@@ -118,6 +120,20 @@ pub struct IguardRun {
     /// Injected-fault counters aggregated across the detector's
     /// components and the GPU launch boundary.
     pub fault_stats: faults::FaultStats,
+    /// Copy/compute overlap schedule of the run (H2D upload → kernel →
+    /// report-drain D2H), with per-engine busy/idle accounting. The D2H
+    /// words are the race-report records shipped per launch, so a
+    /// multi-launch run shows launch *i*'s report drain overlapping
+    /// kernel *i + 1*.
+    pub overlap: OverlapReport,
+    /// The raw overlap-timeline segments behind [`IguardRun::overlap`].
+    /// Callers can concatenate segments from several runs and reschedule
+    /// them (`gpu_sim::overlap::schedule`) to model a *streamed* sweep
+    /// where one workload's report drain overlaps the next's kernel.
+    pub overlap_segments: Vec<Segment>,
+    /// Per-shard pipeline counters (empty for the serial detector and
+    /// for inline sharding — only threaded shard workers have queues).
+    pub pipe: Vec<PipeStats>,
 }
 
 /// Runs `w` under iGUARD with the evaluation GPU configuration for `seed`.
@@ -135,6 +151,7 @@ pub fn run_iguard_with(w: &Workload, size: Size, gcfg: GpuConfig, cfg: IguardCon
     let mut timed_out = false;
     let mut aborted_launches = 0u64;
     let mut stats_exec = LaunchStats::default();
+    let mut last_sent = 0u64;
     for l in &launches {
         match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool) {
             Ok(s) => accumulate(&mut stats_exec, &s),
@@ -142,12 +159,19 @@ pub fn run_iguard_with(w: &Workload, size: Size, gcfg: GpuConfig, cfg: IguardCon
             Err(gpu_sim::error::SimError::InjectedFault { .. }) => aborted_launches += 1,
             Err(e) => panic!("{} failed under iGUARD: {e}", w.name),
         }
+        // Race-report records shipped by this launch are its D2H traffic:
+        // draining them can overlap the next kernel in the pipeline model.
+        let sent = tool.tool().channel_stats().sent;
+        gpu.overlap_timeline().record_d2h(sent - last_sent);
+        last_sent = sent;
     }
     let mut breakdown = [0.0; 6];
     for (i, &c) in COST_CATEGORIES.iter().enumerate() {
         breakdown[i] = gpu.clock().time(c);
     }
     let time = gpu.clock().total_time();
+    let overlap = gpu.overlap_report(&CopyModel::default());
+    let overlap_segments = gpu.overlap_timeline().segments();
     let det = tool.tool_mut();
     // `race_sites` drains the report channel, so the degradation summary
     // collected afterwards satisfies `sent == drained + dropped`.
@@ -166,6 +190,85 @@ pub fn run_iguard_with(w: &Workload, size: Size, gcfg: GpuConfig, cfg: IguardCon
         aborted_launches,
         degradation,
         fault_stats,
+        overlap,
+        overlap_segments,
+        pipe: Vec::new(),
+    }
+}
+
+/// Runs `w` under the sharded iGUARD with the evaluation GPU
+/// configuration for `seed`.
+#[must_use]
+pub fn run_iguard_sharded(
+    w: &Workload,
+    size: Size,
+    seed: u64,
+    cfg: IguardConfig,
+    scfg: ShardConfig,
+) -> IguardRun {
+    run_iguard_sharded_with(w, size, gpu_config(seed), cfg, scfg)
+}
+
+/// Runs `w` under [`ShardedIguard`] with an explicit GPU configuration.
+///
+/// Race reports and verdict-relevant counters are byte-identical to
+/// [`run_iguard_with`] for any [`ShardConfig`]; the metadata plane's
+/// cycle costs (UVM faults, setup) follow the per-shard regions instead,
+/// so `time`/`breakdown`/`uvm` are deterministic but not comparable to
+/// the serial run.
+#[must_use]
+pub fn run_iguard_sharded_with(
+    w: &Workload,
+    size: Size,
+    gcfg: GpuConfig,
+    cfg: IguardConfig,
+    scfg: ShardConfig,
+) -> IguardRun {
+    let mut gpu = Gpu::new(gcfg);
+    let launches = w.build(&mut gpu, size);
+    let mut tool = Instrumented::new(ShardedIguard::new(cfg, scfg));
+    let mut timed_out = false;
+    let mut aborted_launches = 0u64;
+    let mut stats_exec = LaunchStats::default();
+    let mut last_sent = 0u64;
+    for l in &launches {
+        match gpu.launch(&l.kernel, l.grid, l.block, &l.params, &mut tool) {
+            Ok(s) => accumulate(&mut stats_exec, &s),
+            Err(gpu_sim::error::SimError::Timeout { .. }) => timed_out = true,
+            Err(gpu_sim::error::SimError::InjectedFault { .. }) => aborted_launches += 1,
+            Err(e) => panic!("{} failed under sharded iGUARD: {e}", w.name),
+        }
+        let sent = tool.tool().channel_stats().sent;
+        gpu.overlap_timeline().record_d2h(sent - last_sent);
+        last_sent = sent;
+    }
+    let mut breakdown = [0.0; 6];
+    for (i, &c) in COST_CATEGORIES.iter().enumerate() {
+        breakdown[i] = gpu.clock().time(c);
+    }
+    let time = gpu.clock().total_time();
+    let overlap = gpu.overlap_report(&CopyModel::default());
+    let overlap_segments = gpu.overlap_timeline().segments();
+    let det = tool.tool_mut();
+    let sites = det.race_sites();
+    let degradation = det.degradation();
+    let mut fault_stats = det.fault_stats();
+    fault_stats.accumulate(&gpu.fault_stats());
+    let pipe = det.pipe_stats();
+    IguardRun {
+        time,
+        breakdown,
+        sites,
+        stats: det.stats(),
+        uvm: det.uvm_stats(),
+        stats_exec,
+        timed_out,
+        aborted_launches,
+        degradation,
+        fault_stats,
+        overlap,
+        overlap_segments,
+        pipe,
     }
 }
 

@@ -10,6 +10,137 @@
 
 use std::fmt::Write as _;
 
+/// Schema tag of the PR 7 trajectory document (`BENCH_PR7.json`).
+///
+/// Bumped from `bench-pr2-v1` to make every run record the host it was
+/// measured on (`host.cores`, `host.jobs`): wall-clock numbers from a
+/// single-core CI box must never be compared against a multi-core run,
+/// so the baseline/current speedup is only computed when both runs'
+/// host blocks match (see [`hosts_comparable`]).
+pub const SCHEMA_PR7: &str = "bench-pr7-v1";
+
+/// The host block every `bench-pr7-v1` run carries.
+#[must_use]
+pub fn host_info(cores: usize, jobs: usize) -> Value {
+    let mut h = Value::obj();
+    h.set("cores", Value::Num(cores as f64));
+    h.set("jobs", Value::Num(jobs as f64));
+    h
+}
+
+/// Whether two runs' host blocks describe comparable measurements
+/// (same core count and same `--jobs` fan-out). Missing host blocks —
+/// e.g. a run recorded under an older schema — are never comparable.
+#[must_use]
+pub fn hosts_comparable(a: &Value, b: &Value) -> bool {
+    let field = |run: &Value, key: &str| run.get("host").and_then(|h| h.get(key)).and_then(Value::as_f64);
+    matches!(
+        (field(a, "cores"), field(b, "cores"), field(a, "jobs"), field(b, "jobs")),
+        (Some(ca), Some(cb), Some(ja), Some(jb)) if ca == cb && ja == jb
+    )
+}
+
+/// Structural validation of a `bench-pr7-v1` document: schema tag, host
+/// blocks on every recorded run, and the overlap model's accounting
+/// invariants (`busy + idle == total` per engine, `overlapped <=
+/// serial`). This is what `ci.sh --perf` runs against the emitted file.
+///
+/// # Errors
+/// Returns a description of the first violated constraint.
+pub fn validate_pr7(doc: &Value) -> Result<(), String> {
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SCHEMA_PR7 => {}
+        Some(s) => return Err(format!("schema is `{s}`, expected `{SCHEMA_PR7}`")),
+        None => return Err("missing `schema`".into()),
+    }
+    let mut saw_run = false;
+    for key in ["baseline", "current"] {
+        let Some(run) = doc.get(key) else { continue };
+        saw_run = true;
+        for field in ["cores", "jobs"] {
+            if run
+                .get("host")
+                .and_then(|h| h.get(field))
+                .and_then(Value::as_f64)
+                .is_none()
+            {
+                return Err(format!("run `{key}` lacks host.{field}"));
+            }
+        }
+        if run.get("totals").is_none() {
+            return Err(format!("run `{key}` lacks totals"));
+        }
+    }
+    if !saw_run {
+        return Err("document records neither `baseline` nor `current`".into());
+    }
+    if let Some(overlap) = doc.get("overlap") {
+        let Some(Value::Arr(entries)) = overlap.get("workloads") else {
+            return Err("overlap.workloads missing or not an array".into());
+        };
+        for e in entries {
+            check_overlap_entry(e)?;
+        }
+        if let Some(streamed) = overlap.get("pipelined_sweep") {
+            check_overlap_entry(streamed)?;
+        }
+    }
+    if let Some(sweep) = doc.get("shard_sweep") {
+        let Some(Value::Arr(entries)) = sweep.get("entries") else {
+            return Err("shard_sweep.entries missing or not an array".into());
+        };
+        for e in entries {
+            for k in ["shards", "wall_ms"] {
+                if e.get(k).and_then(Value::as_f64).is_none() {
+                    return Err(format!("shard_sweep entry lacks `{k}`"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks one overlap-schedule object (a `overlap.workloads` entry or
+/// the `overlap.pipelined_sweep` aggregate): `overlapped <= serial` and
+/// every engine lane's `busy + idle == overlapped`.
+fn check_overlap_entry(e: &Value) -> Result<(), String> {
+    let name = e.get("name").and_then(Value::as_str).unwrap_or("?");
+    let num = |k: &str| {
+        e.get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("overlap entry `{name}` lacks `{k}`"))
+    };
+    let serial = num("serial_cycles")?;
+    let overlapped = num("overlapped_cycles")?;
+    if overlapped > serial {
+        return Err(format!(
+            "overlap entry `{name}`: overlapped {overlapped} > serial {serial}"
+        ));
+    }
+    let Some(Value::Arr(engines)) = e.get("engines") else {
+        return Err(format!("overlap entry `{name}` lacks engines"));
+    };
+    for eng in engines {
+        let ename = eng.get("name").and_then(Value::as_str).unwrap_or("?");
+        let busy = eng.get("busy").and_then(Value::as_f64);
+        let idle = eng.get("idle").and_then(Value::as_f64);
+        match (busy, idle) {
+            (Some(b), Some(i)) if b + i == overlapped => {}
+            (Some(b), Some(i)) => {
+                return Err(format!(
+                    "overlap entry `{name}` engine `{ename}`: busy {b} + idle {i} != total {overlapped}"
+                ));
+            }
+            _ => {
+                return Err(format!(
+                    "overlap entry `{name}` engine `{ename}` lacks busy/idle"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// One JSON value. Object keys keep insertion order so emitted files are
 /// stable under re-emission (deterministic diffs in the perf trajectory).
 #[derive(Debug, Clone, PartialEq)]
@@ -375,5 +506,73 @@ mod tests {
         assert!(parse("{} x").is_err());
         assert!(parse("[1,]").is_err());
         assert!(parse("").is_err());
+    }
+
+    fn minimal_pr7() -> Value {
+        let mut doc = Value::obj();
+        doc.set("schema", Value::Str(SCHEMA_PR7.into()));
+        let mut run = Value::obj();
+        run.set("host", host_info(1, 1));
+        run.set("totals", Value::obj());
+        doc.set("current", run);
+        doc
+    }
+
+    #[test]
+    fn validate_accepts_minimal_document() {
+        assert_eq!(validate_pr7(&minimal_pr7()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema_and_missing_host() {
+        let mut doc = minimal_pr7();
+        doc.set("schema", Value::Str("bench-pr2-v1".into()));
+        assert!(validate_pr7(&doc).unwrap_err().contains("schema"));
+
+        let mut doc = Value::obj();
+        doc.set("schema", Value::Str(SCHEMA_PR7.into()));
+        let mut run = Value::obj();
+        run.set("totals", Value::obj());
+        doc.set("current", run);
+        assert!(validate_pr7(&doc).unwrap_err().contains("host"));
+    }
+
+    #[test]
+    fn validate_checks_busy_plus_idle_invariant() {
+        let mut doc = minimal_pr7();
+        let mut entry = Value::obj();
+        entry.set("name", Value::Str("w".into()));
+        entry.set("serial_cycles", Value::Num(100.0));
+        entry.set("overlapped_cycles", Value::Num(80.0));
+        let mut eng = Value::obj();
+        eng.set("name", Value::Str("kernel".into()));
+        eng.set("busy", Value::Num(70.0));
+        eng.set("idle", Value::Num(10.0));
+        entry.set("engines", Value::Arr(vec![eng.clone()]));
+        let mut overlap = Value::obj();
+        overlap.set("workloads", Value::Arr(vec![entry.clone()]));
+        doc.set("overlap", overlap.clone());
+        assert_eq!(validate_pr7(&doc), Ok(()));
+
+        // Break the invariant: busy + idle != overlapped.
+        eng.set("idle", Value::Num(11.0));
+        entry.set("engines", Value::Arr(vec![eng]));
+        overlap.set("workloads", Value::Arr(vec![entry]));
+        doc.set("overlap", overlap);
+        assert!(validate_pr7(&doc).unwrap_err().contains("busy"));
+    }
+
+    #[test]
+    fn hosts_comparable_requires_matching_cores_and_jobs() {
+        let mut a = Value::obj();
+        a.set("host", host_info(8, 4));
+        let mut b = Value::obj();
+        b.set("host", host_info(8, 4));
+        assert!(hosts_comparable(&a, &b));
+        b.set("host", host_info(1, 4));
+        assert!(!hosts_comparable(&a, &b));
+        // A run without a host block (older schema) is never comparable.
+        let bare = Value::obj();
+        assert!(!hosts_comparable(&a, &bare));
     }
 }

@@ -1,0 +1,174 @@
+//! Shard-parallel determinism: for *any* shard count, execution mode
+//! (inline or threaded), and batch size, the sharded detector's race
+//! reports and verdict-relevant counters are byte-identical to the
+//! serial detector — including under injected report-channel faults,
+//! where both must also stay `fully_accounted`.
+//!
+//! The one accepted divergence is the metadata plane's *cycle* costs:
+//! each shard owns a private UVM region, so `uvm_cycles` (and the
+//! simulated times derived from it) follow a different — still
+//! deterministic — paging pattern. Everything the verdict depends on is
+//! compared field by field below.
+
+use faults::{FaultConfig, FaultSite, RATE_ONE};
+use iguard::{IguardConfig, ShardConfig};
+use proptest::prelude::*;
+use workloads::Size;
+
+use bench::{gpu_config, run_iguard_sharded_with, run_iguard_with, IguardRun, DEFAULT_SEED};
+
+/// Asserts everything verdict-relevant matches between a serial and a
+/// sharded run (excluding `uvm_cycles` / simulated time, see module
+/// docs). Returns an error string on mismatch so proptest can shrink.
+fn assert_equivalent(serial: &IguardRun, sharded: &IguardRun) -> Result<(), String> {
+    macro_rules! eq {
+        ($field:expr, $a:expr, $b:expr) => {
+            if $a != $b {
+                return Err(format!("{}: serial {:?} != sharded {:?}", $field, $a, $b));
+            }
+        };
+    }
+    eq!("sites", &serial.sites, &sharded.sites);
+    let (a, b) = (&serial.stats, &sharded.stats);
+    eq!("accesses", a.accesses, b.accesses);
+    eq!("coalesced_saved", a.coalesced_saved, b.coalesced_saved);
+    eq!("safe_hits", a.safe_hits, b.safe_hits);
+    eq!("race_hits", a.race_hits, b.race_hits);
+    eq!("contended_accesses", a.contended_accesses, b.contended_accesses);
+    eq!("contention_cycles", a.contention_cycles, b.contention_cycles);
+    eq!("launches", a.launches, b.launches);
+    eq!("missed_checks", a.missed_checks, b.missed_checks);
+    eq!("orphan_events", a.orphan_events, b.orphan_events);
+    eq!("table_init_failures", a.table_init_failures, b.table_init_failures);
+    // The central report channel sees the same record sequence, so its
+    // accounting — including fault-plane drops — matches exactly.
+    eq!("channel", serial.degradation.channel, sharded.degradation.channel);
+    eq!("timed_out", serial.timed_out, sharded.timed_out);
+    eq!("exec steps", serial.stats_exec.steps, sharded.stats_exec.steps);
+    Ok(())
+}
+
+/// The racey workloads the suite sweeps (fast at `Size::Test`, multiple
+/// kernels/launches between them).
+const WORKLOADS: [&str; 3] = ["reduction", "graph-color", "interac"];
+
+#[test]
+fn inline_sharding_matches_serial_for_every_shard_count() {
+    for name in WORKLOADS {
+        let w = workloads::by_name(name).expect("workload exists");
+        let serial = run_iguard_with(
+            &w,
+            Size::Test,
+            gpu_config(DEFAULT_SEED),
+            IguardConfig::default(),
+        );
+        assert!(!serial.sites.is_empty(), "{name} should race");
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = run_iguard_sharded_with(
+                &w,
+                Size::Test,
+                gpu_config(DEFAULT_SEED),
+                IguardConfig::default(),
+                ShardConfig::inline(shards),
+            );
+            if let Err(e) = assert_equivalent(&serial, &sharded) {
+                panic!("{name} with {shards} inline shards diverged: {e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_sharding_matches_serial_and_reports_pipe_stats() {
+    let w = workloads::by_name("reduction").expect("workload exists");
+    let serial = run_iguard_with(
+        &w,
+        Size::Test,
+        gpu_config(DEFAULT_SEED),
+        IguardConfig::default(),
+    );
+    let sharded = run_iguard_sharded_with(
+        &w,
+        Size::Test,
+        gpu_config(DEFAULT_SEED),
+        IguardConfig::default(),
+        ShardConfig::threaded(4),
+    );
+    if let Err(e) = assert_equivalent(&serial, &sharded) {
+        panic!("threaded(4) diverged: {e}");
+    }
+    assert_eq!(sharded.pipe.len(), 4, "one pipe per shard worker");
+    let routed: u64 = sharded.pipe.iter().map(|p| p.pushed).sum();
+    assert!(routed > 0, "workers must have received batches");
+    for p in &sharded.pipe {
+        assert_eq!(p.pushed, p.popped, "every batch consumed");
+    }
+}
+
+#[test]
+fn clean_workload_stays_clean_under_sharding() {
+    let w = workloads::by_name("b_reduce").expect("workload exists");
+    for scfg in [ShardConfig::inline(8), ShardConfig::threaded(2)] {
+        let run = run_iguard_sharded_with(
+            &w,
+            Size::Test,
+            gpu_config(DEFAULT_SEED),
+            IguardConfig::default(),
+            scfg,
+        );
+        assert!(run.sites.is_empty(), "got {:?}", run.sites);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any shard count × any drain interleaving (threaded workers with
+    /// arbitrary batch sizes) × report-channel fault schedules: reports
+    /// stay byte-identical to serial and degradation stays fully
+    /// accounted on both sides.
+    #[test]
+    fn sharded_reports_match_serial_under_channel_faults(
+        seed in 0u64..1 << 32,
+        shards_pow in 0u32..4,
+        threaded in any::<bool>(),
+        batch in prop_oneof![Just(1usize), Just(7), Just(256)],
+        drop_rate in 0u32..=RATE_ONE / 4,
+        overflow_rate in 0u32..=RATE_ONE / 8,
+        small_capacity in any::<bool>(),
+        wl in 0usize..WORKLOADS.len(),
+    ) {
+        // Only report-channel sites: the channel is central and shared,
+        // so its fault draws must replay identically. (Metadata-plane
+        // sites act on per-shard tables whose draw sequences are a
+        // different — deterministic — schedule by design.)
+        let faults = FaultConfig::disabled()
+            .with_seed(seed)
+            .with_rate(FaultSite::ReportDrop, drop_rate)
+            .with_rate(FaultSite::ChannelOverflow, overflow_rate);
+        let icfg = IguardConfig {
+            faults,
+            report_capacity: if small_capacity { 4 } else { 16 * 1024 },
+            ..IguardConfig::default()
+        };
+        let scfg = ShardConfig {
+            shards: 1 << shards_pow,
+            threaded,
+            batch_events: batch,
+            ..ShardConfig::default()
+        };
+        let w = workloads::by_name(WORKLOADS[wl]).expect("workload exists");
+        let serial = run_iguard_with(&w, Size::Test, gpu_config(seed), icfg.clone());
+        let sharded = run_iguard_sharded_with(&w, Size::Test, gpu_config(seed), icfg, scfg);
+
+        if let Err(e) = assert_equivalent(&serial, &sharded) {
+            panic!("sharded run diverged from serial: {e}");
+        }
+        prop_assert!(serial.degradation.fully_accounted());
+        prop_assert!(
+            sharded.degradation.fully_accounted(),
+            "sharded degradation must stay accounted: {:?}",
+            sharded.degradation
+        );
+    }
+}

@@ -47,6 +47,7 @@ pub mod ir;
 pub mod kernel;
 pub mod machine;
 pub mod mem;
+pub mod overlap;
 pub mod sched;
 pub mod timing;
 

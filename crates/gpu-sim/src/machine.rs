@@ -28,6 +28,7 @@ use crate::hook::{AccessKind, ExecMode, Hook, LaneAccess, LaunchInfo, MemAccess,
 use crate::ir::{AluOp, CmpOp, Instr, Operand, Reg, Space, Special, NUM_REGS, WARP_SIZE};
 use crate::kernel::Kernel;
 use crate::mem::GlobalMem;
+use crate::overlap::{CopyModel, OverlapReport, Timeline};
 use crate::sched::{LaunchContext, RandomScheduler, Scheduler};
 use crate::timing::{Clock, CostCategory, CostModel, Phase, PhaseTimes};
 use faults::{FaultConfig, FaultInjector, FaultSite, FaultStats};
@@ -191,6 +192,9 @@ pub struct Gpu {
     bump_word: usize,
     logical_allocated: u64,
     faults: FaultInjector,
+    /// Copy/compute overlap recorder (pure bookkeeping; never touches the
+    /// clock, so golden outputs are unaffected).
+    timeline: Timeline,
 }
 
 impl Gpu {
@@ -246,6 +250,7 @@ impl Gpu {
             bump_word: 16,
             logical_allocated: 64,
             faults,
+            timeline: Timeline::default(),
         })
     }
 
@@ -320,13 +325,35 @@ impl Gpu {
 
     /// Host write of word `idx` of the buffer at `base`.
     pub fn write(&mut self, base: u32, idx: usize, value: u32) {
+        self.timeline.record_h2d(1);
         self.mem.write_coherent(base + (idx * 4) as u32, value);
     }
 
     /// Host read of word `idx` of the buffer at `base` (coherent view).
     #[must_use]
     pub fn read(&self, base: u32, idx: usize) -> u32 {
+        self.timeline.record_d2h(1);
         self.mem.read_coherent(base + (idx * 4) as u32)
+    }
+
+    /// The copy/compute overlap recorder (one segment per successful
+    /// launch; host writes/reads become H2D/D2H words).
+    #[must_use]
+    pub fn overlap_timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Mutable overlap recorder — harnesses use this to attribute
+    /// detector traffic (e.g. drained race-report records) as D2H words.
+    pub fn overlap_timeline_mut(&mut self) -> &mut Timeline {
+        &mut self.timeline
+    }
+
+    /// Schedules the recorded launch timeline under `model`, yielding the
+    /// pipelined-vs-serial latency comparison with per-engine busy/idle.
+    #[must_use]
+    pub fn overlap_report(&self, model: &CopyModel) -> OverlapReport {
+        self.timeline.report(model)
     }
 
     /// Fills `idx..idx+data.len()` of the buffer at `base`.
@@ -423,6 +450,7 @@ impl Gpu {
 
         let eff = (total_warps as usize).min(self.cfg.num_sms * self.cfg.warp_slots_per_sm);
         self.clock.set_parallelism(eff.max(1) as f64);
+        let seg_time_before = self.clock.total_time();
         let phases_before = self.clock.phases();
         let launch_t0 = self.clock.profiling().then(Instant::now);
         timed_hook_call(&mut self.clock, |clock| hook.on_kernel_launch(&info, clock));
@@ -568,6 +596,11 @@ impl Gpu {
             self.clock
                 .add_phase_ns(Phase::Total, t.elapsed().as_nanos() as u64);
         }
+        // Close this launch's overlap segment (timeout/fault paths return
+        // earlier and record nothing: an aborted launch has no well-defined
+        // pipeline slot).
+        let seg_cycles = (self.clock.total_time() - seg_time_before).max(0.0).round() as u64;
+        self.timeline.end_segment(kernel.name.clone(), seg_cycles);
         run.stats.phases = self.clock.phases().since(&phases_before);
         Ok(run.stats)
     }

@@ -1,0 +1,380 @@
+//! Copy/compute overlap model: H2D → kernel → D2H pipelining with
+//! busy-vs-idle accounting per engine.
+//!
+//! Real GPUs expose three engines that proceed concurrently once work is
+//! enqueued on separate streams: the host→device copy engine, the
+//! compute engine, and the device→host copy engine. The simulator's
+//! main clock charges every launch serially; this module layers a
+//! *deterministic* overlap schedule on top of the recorded launch
+//! timeline so the harness can report how much simulated latency a
+//! pipelined sim→detect stage recovers — without perturbing a single
+//! cycle of the golden-pinned serial accounting (recording is pure
+//! bookkeeping: no clock charges, no RNG draws).
+//!
+//! The machine records a [`Segment`] per successful launch: host words
+//! written since the previous launch (its upload), the launch's
+//! simulated cycles (its compute), and host/detector words read back
+//! after it (its download — for iGUARD, the race-report records drained
+//! while the *next* kernel runs). [`schedule`] then plays the classic
+//! three-stage pipeline recurrence over the segment list:
+//!
+//! ```text
+//! h2d_done[i]    = h2d_done[i-1]          + h2d[i]
+//! kernel_done[i] = max(kernel_done[i-1], h2d_done[i])    + kernel[i]
+//! d2h_done[i]    = max(d2h_done[i-1],   kernel_done[i])  + d2h[i]
+//! ```
+//!
+//! The serial baseline is the plain sum; the difference is the overlap
+//! win. Per engine, `busy` is the sum of its transfer/compute durations
+//! and `idle = makespan - busy`, so `busy + idle == makespan` holds
+//! exactly for every engine — the invariant `ci.sh --perf` checks.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Transfer-cost parameters (cycles). A transfer of `w > 0` words costs
+/// `fixed_per_transfer + w * cycles_per_word`; zero-word transfers are
+/// free (no engine work is enqueued at all).
+#[derive(Debug, Clone, Copy)]
+pub struct CopyModel {
+    /// Host→device cycles per 32-bit word.
+    pub h2d_cycles_per_word: u64,
+    /// Device→host cycles per 32-bit word.
+    pub d2h_cycles_per_word: u64,
+    /// Fixed launch cost per non-empty transfer (driver + DMA setup).
+    pub fixed_per_transfer: u64,
+}
+
+impl Default for CopyModel {
+    fn default() -> Self {
+        CopyModel {
+            h2d_cycles_per_word: 2,
+            d2h_cycles_per_word: 2,
+            fixed_per_transfer: 600,
+        }
+    }
+}
+
+impl CopyModel {
+    fn h2d_cost(&self, words: u64) -> u64 {
+        if words == 0 {
+            0
+        } else {
+            self.fixed_per_transfer + words * self.h2d_cycles_per_word
+        }
+    }
+
+    fn d2h_cost(&self, words: u64) -> u64 {
+        if words == 0 {
+            0
+        } else {
+            self.fixed_per_transfer + words * self.d2h_cycles_per_word
+        }
+    }
+}
+
+/// One pipeline unit: a kernel launch plus the host traffic around it.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Kernel name (interned).
+    pub name: Arc<str>,
+    /// Words uploaded before this launch (host writes since the previous
+    /// launch completed).
+    pub h2d_words: u64,
+    /// Simulated cycles the launch itself took (all categories).
+    pub kernel_cycles: u64,
+    /// Words read back after this launch (host reads and detector
+    /// records attributed to it).
+    pub d2h_words: u64,
+}
+
+/// Per-engine occupancy over the overlapped schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineLane {
+    /// Cycles the engine spent transferring/computing.
+    pub busy: u64,
+    /// Cycles the engine sat idle before the makespan elapsed.
+    pub idle: u64,
+}
+
+impl EngineLane {
+    /// `busy / (busy + idle)` in percent (100 when the schedule is
+    /// empty: an engine with no work and no waiting is trivially fully
+    /// utilized).
+    #[must_use]
+    pub fn utilization_pct(&self) -> f64 {
+        let total = self.busy + self.idle;
+        if total == 0 {
+            100.0
+        } else {
+            100.0 * self.busy as f64 / total as f64
+        }
+    }
+}
+
+/// Engine indices into [`OverlapReport::engines`].
+pub const ENGINE_H2D: usize = 0;
+/// Compute engine index.
+pub const ENGINE_KERNEL: usize = 1;
+/// Device→host engine index.
+pub const ENGINE_D2H: usize = 2;
+
+/// Engine display names, in [`OverlapReport::engines`] order.
+pub const ENGINE_NAMES: [&str; 3] = ["h2d", "kernel", "d2h"];
+
+/// The deterministic overlap schedule of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlapReport {
+    /// Cycles if every transfer and kernel ran back-to-back (the
+    /// serial-driver baseline).
+    pub serial_cycles: u64,
+    /// Makespan of the pipelined schedule (always ≤ serial).
+    pub overlapped_cycles: u64,
+    /// Busy/idle split per engine: `[h2d, kernel, d2h]`. For each,
+    /// `busy + idle == overlapped_cycles`.
+    pub engines: [EngineLane; 3],
+    /// Number of pipeline segments (successful launches).
+    pub segments: usize,
+}
+
+impl OverlapReport {
+    /// Serial / overlapped latency ratio (1.0 for an empty timeline).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.overlapped_cycles == 0 {
+            1.0
+        } else {
+            self.serial_cycles as f64 / self.overlapped_cycles as f64
+        }
+    }
+
+    /// Cycles recovered by overlapping.
+    #[must_use]
+    pub fn saved_cycles(&self) -> u64 {
+        self.serial_cycles - self.overlapped_cycles
+    }
+}
+
+/// Plays the three-engine pipeline recurrence over `segments`.
+#[must_use]
+pub fn schedule(segments: &[Segment], model: &CopyModel) -> OverlapReport {
+    let mut h2d_t = 0u64;
+    let mut k_t = 0u64;
+    let mut d2h_t = 0u64;
+    let mut busy = [0u64; 3];
+    let mut serial = 0u64;
+    for s in segments {
+        let h = model.h2d_cost(s.h2d_words);
+        let k = s.kernel_cycles;
+        let d = model.d2h_cost(s.d2h_words);
+        serial += h + k + d;
+        busy[ENGINE_H2D] += h;
+        busy[ENGINE_KERNEL] += k;
+        busy[ENGINE_D2H] += d;
+        h2d_t += h;
+        k_t = k_t.max(h2d_t) + k;
+        d2h_t = d2h_t.max(k_t) + d;
+    }
+    let makespan = h2d_t.max(k_t).max(d2h_t);
+    let mut engines = [EngineLane::default(); 3];
+    for (lane, &b) in engines.iter_mut().zip(busy.iter()) {
+        lane.busy = b;
+        lane.idle = makespan - b;
+    }
+    OverlapReport {
+        serial_cycles: serial,
+        overlapped_cycles: makespan,
+        engines,
+        segments: segments.len(),
+    }
+}
+
+/// Passive recorder the machine feeds as the run proceeds.
+///
+/// Host writes accumulate toward the *next* segment's upload; host (or
+/// detector) reads accumulate into the *previous* segment's download.
+/// The first host write after a read run closes the download window —
+/// matching the natural `upload → launch → read back` structure of the
+/// workloads.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    segments: Vec<Segment>,
+    pending_h2d: u64,
+    /// `Cell`: reads come through `&self` accessors on the machine.
+    pending_d2h: Cell<u64>,
+}
+
+impl Timeline {
+    /// Records `words` uploaded by the host.
+    pub fn record_h2d(&mut self, words: u64) {
+        self.flush_d2h();
+        self.pending_h2d += words;
+    }
+
+    /// Records `words` read back to the host, attributed to the most
+    /// recent launch. Reads before any launch model initialization
+    /// traffic and are dropped.
+    pub fn record_d2h(&self, words: u64) {
+        if !self.segments.is_empty() {
+            self.pending_d2h.set(self.pending_d2h.get() + words);
+        }
+    }
+
+    /// Closes the current segment: a launch named `name` that took
+    /// `kernel_cycles`, preceded by everything uploaded since the last
+    /// segment.
+    pub fn end_segment(&mut self, name: Arc<str>, kernel_cycles: u64) {
+        self.flush_d2h();
+        self.segments.push(Segment {
+            name,
+            h2d_words: std::mem::take(&mut self.pending_h2d),
+            kernel_cycles,
+            d2h_words: 0,
+        });
+    }
+
+    /// Folds pending reads into the segment they belong to.
+    fn flush_d2h(&mut self) {
+        let pending = self.pending_d2h.take();
+        if pending > 0 {
+            if let Some(last) = self.segments.last_mut() {
+                last.d2h_words += pending;
+            }
+        }
+    }
+
+    /// Snapshot of the recorded segments (pending reads folded in).
+    #[must_use]
+    pub fn segments(&self) -> Vec<Segment> {
+        let mut segs = self.segments.clone();
+        let pending = self.pending_d2h.get();
+        if pending > 0 {
+            if let Some(last) = segs.last_mut() {
+                last.d2h_words += pending;
+            }
+        }
+        segs
+    }
+
+    /// Number of closed segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether any segment has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Schedules the recorded timeline under `model`.
+    #[must_use]
+    pub fn report(&self, model: &CopyModel) -> OverlapReport {
+        schedule(&self.segments(), model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(h2d: u64, k: u64, d2h: u64) -> Segment {
+        Segment {
+            name: Arc::from("k"),
+            h2d_words: h2d,
+            kernel_cycles: k,
+            d2h_words: d2h,
+        }
+    }
+
+    /// Unit-cost model: transfers cost exactly their word count.
+    fn unit() -> CopyModel {
+        CopyModel {
+            h2d_cycles_per_word: 1,
+            d2h_cycles_per_word: 1,
+            fixed_per_transfer: 0,
+        }
+    }
+
+    #[test]
+    fn empty_timeline_is_trivial() {
+        let r = schedule(&[], &CopyModel::default());
+        assert_eq!(r.serial_cycles, 0);
+        assert_eq!(r.overlapped_cycles, 0);
+        assert!((r.speedup() - 1.0).abs() < 1e-12);
+        for e in r.engines {
+            assert_eq!(e.busy + e.idle, r.overlapped_cycles);
+        }
+    }
+
+    #[test]
+    fn single_segment_has_no_overlap() {
+        // One segment has nothing to overlap with: makespan == serial.
+        let r = schedule(&[seg(10, 100, 5)], &unit());
+        assert_eq!(r.serial_cycles, 115);
+        assert_eq!(r.overlapped_cycles, 115);
+        assert_eq!(r.engines[ENGINE_KERNEL].busy, 100);
+        assert_eq!(r.engines[ENGINE_KERNEL].idle, 15);
+    }
+
+    #[test]
+    fn known_pipeline_numbers() {
+        // Two equal segments (h=10, k=100, d=10): segment 2's upload
+        // overlaps segment 1's compute, its compute follows back-to-back,
+        // and each drain overlaps the next stage. Hand-rolled recurrence:
+        //   h2d:   10, 20
+        //   kernel: max(0,10)+100 = 110; max(110,20)+100 = 210
+        //   d2h:   max(0,110)+10 = 120; max(120,210)+10 = 220
+        let r = schedule(&[seg(10, 100, 10), seg(10, 100, 10)], &unit());
+        assert_eq!(r.serial_cycles, 240);
+        assert_eq!(r.overlapped_cycles, 220);
+        assert_eq!(r.saved_cycles(), 20);
+        assert_eq!(r.engines[ENGINE_KERNEL].busy, 200);
+        assert_eq!(r.engines[ENGINE_KERNEL].idle, 20);
+    }
+
+    #[test]
+    fn overlap_never_exceeds_serial() {
+        let model = CopyModel::default();
+        let segs: Vec<Segment> = (0..20)
+            .map(|i| seg(i * 37 % 513, 1000 + i * 91, i * 53 % 301))
+            .collect();
+        let r = schedule(&segs, &model);
+        assert!(r.overlapped_cycles <= r.serial_cycles);
+        for e in r.engines {
+            assert_eq!(e.busy + e.idle, r.overlapped_cycles, "busy+idle invariant");
+        }
+    }
+
+    #[test]
+    fn timeline_attributes_reads_to_previous_launch() {
+        let mut t = Timeline::default();
+        t.record_h2d(100);
+        t.end_segment(Arc::from("k1"), 1000);
+        t.record_d2h(7); // belongs to k1
+        t.record_h2d(50); // opens k2's upload window
+        t.end_segment(Arc::from("k2"), 2000);
+        t.record_d2h(3); // belongs to k2, still pending
+        let segs = t.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!((segs[0].h2d_words, segs[0].d2h_words), (100, 7));
+        assert_eq!((segs[1].h2d_words, segs[1].d2h_words), (50, 3));
+    }
+
+    #[test]
+    fn reads_before_any_launch_are_dropped() {
+        let t = Timeline::default();
+        t.record_d2h(99);
+        assert!(t.segments().is_empty());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn utilization_pct_is_sane() {
+        let lane = EngineLane { busy: 75, idle: 25 };
+        assert!((lane.utilization_pct() - 75.0).abs() < 1e-12);
+        assert!((EngineLane::default().utilization_pct() - 100.0).abs() < 1e-12);
+    }
+}

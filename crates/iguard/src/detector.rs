@@ -12,6 +12,11 @@
 //! 5. updates shared flags, runs the two-tier P/R checks of Table 2, and
 //!    writes back the metadata (§6.2, §6.4);
 //! 6. reports races to the host buffer without stopping execution (§5).
+//!
+//! The table-keyed back half of the pipeline (steps 3–5) lives in
+//! [`crate::engine::Engine`], shared verbatim with the sharded detector
+//! ([`crate::shard::ShardedIguard`]); this type drives it with an inline
+//! sink that charges the clock and ships reports immediately.
 
 use std::time::Instant;
 
@@ -22,9 +27,10 @@ use gpu_sim::timing::{Clock, CostCategory, Phase};
 use nvbit_sim::channel::ChannelStats;
 use nvbit_sim::Tool;
 
-use crate::bitfield::{AccessorInfo, MetadataEntry};
-use crate::checks::{detailed, preliminary, AccessType, CurrAccess, MdView, RaceKind, Safe};
+use crate::bitfield::AccessorInfo;
+use crate::checks::{AccessType, CurrAccess, RaceKind};
 use crate::config::IguardConfig;
+use crate::engine::{race_index, AccessCtx, Engine, EngineParams, Sink};
 use crate::error::IguardError;
 use crate::locks::WarpLockState;
 use crate::metadata::{MetaStats, MetadataTable, TableConfig, ENTRY_BYTES};
@@ -96,221 +102,15 @@ impl Degradation {
     }
 }
 
-/// Capacity of the inline history ring; the §6.7 ablation tops out at
-/// depth 8, and [`HistoryTable`] clamps deeper configurations to it.
-const HISTORY_RING: usize = 8;
-
-/// Flat, epoch-invalidated per-word contention state.
-///
-/// Indexed by metadata word exactly like `MetadataTable` (power-of-two
-/// capacity ≥ the backing words, so every in-bounds word index maps
-/// injectively to its own slot): a slot whose epoch is stale reads as the
-/// zeroed default the old `HashMap::entry(word).or_default()` produced,
-/// so the replacement is behaviour-identical while removing hashing and
-/// allocation from the per-access path. Backing vectors are zero-filled
-/// allocations, so untouched slots never cost physical pages.
-#[derive(Debug, Default)]
-struct ContentionTable {
-    mask: usize,
-    epoch: u32,
-    slot_epoch: Vec<u32>,
-    last_step: Vec<u64>,
-    last_warp: Vec<u32>,
-    streak: Vec<u32>,
-}
-
-impl ContentionTable {
-    /// Sets the slot mask for `words` and invalidates every slot (the old
-    /// per-launch `HashMap::clear`), without touching the backing pages.
-    /// Storage itself grows lazily (see [`ContentionTable::ensure`]).
-    fn begin_launch(&mut self, words: usize) {
-        let cap = words.next_power_of_two();
-        self.mask = cap - 1;
-        if self.epoch == 0 {
-            self.epoch = 1;
-            return;
-        }
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // The 32-bit epoch wrapped: stale slots could masquerade as
-            // live, so pay one real clear every 2^32 launches.
-            self.slot_epoch.fill(0);
-            self.epoch = 1;
-        }
-    }
-
-    /// Grows the slot arrays to cover `slot`. The mapping is identity
-    /// for in-range words, so growing to the touched high-water mark is
-    /// equivalent to full preallocation — without zeroing tens of
-    /// megabytes per detector for the device's whole address space.
-    /// Fresh slots get epoch 0, which never equals the live epoch.
-    #[inline]
-    fn ensure(&mut self, slot: usize) {
-        if slot >= self.slot_epoch.len() {
-            let n = (slot + 1).next_power_of_two();
-            self.slot_epoch.resize(n, 0);
-            self.last_step.resize(n, 0);
-            self.last_warp.resize(n, 0);
-            self.streak.resize(n, 0);
-        }
-    }
-
-    /// Applies the streak update for one access and returns the updated
-    /// streak (the state machine of `charge_contention`, unchanged).
-    fn update(&mut self, word: u32, warp: u32, step: u64, window: u64) -> u32 {
-        let slot = word as usize & self.mask;
-        self.ensure(slot);
-        let (last_step, last_warp, mut streak) = if self.slot_epoch[slot] == self.epoch {
-            (self.last_step[slot], self.last_warp[slot], self.streak[slot])
-        } else {
-            (0, 0, 0)
-        };
-        let close = step.saturating_sub(last_step) <= window;
-        if close && last_warp != warp {
-            streak = streak.saturating_add(1);
-        } else if !close {
-            streak = 1;
-        }
-        self.slot_epoch[slot] = self.epoch;
-        self.last_step[slot] = step;
-        self.last_warp[slot] = warp;
-        self.streak[slot] = streak;
-        streak
-    }
-}
-
-/// Flat fixed-capacity history rings (§6.7 ablation depths > 1), indexed
-/// like [`ContentionTable`] and invalidated the same way. Replaces the
-/// old `HashMap<u32, VecDeque<HistRecord>>`: per-word rings of at most
-/// [`HISTORY_RING`] records live inline in flat arrays, so pushing a
-/// record allocates nothing. Records store the accessor identity
-/// losslessly (unlike the packed 16-byte entry, whose fields truncate).
-#[derive(Debug, Default)]
-struct HistoryTable {
-    /// Records kept per word: `min(cfg.history_depth, HISTORY_RING)`.
-    /// `<= 1` disables the table (the entry itself is depth-1 history).
-    depth: usize,
-    mask: usize,
-    epoch: u32,
-    slot_epoch: Vec<u32>,
-    /// Per-slot ring control: `head << 4 | len` (both fit: depth ≤ 8).
-    ctl: Vec<u8>,
-    /// Per-record identity: `warp_id << 32 | lane`.
-    id: Vec<u64>,
-    /// Per-record sync counters, one byte each:
-    /// `dev_fence | blk_fence << 8 | blk_bar << 16 | warp_bar << 24`.
-    sync: Vec<u32>,
-    /// Per-record lock Bloom summary.
-    locks: Vec<u16>,
-}
-
-impl HistoryTable {
-    fn begin_launch(&mut self, words: usize, configured_depth: usize) {
-        self.depth = configured_depth.min(HISTORY_RING);
-        if self.depth <= 1 {
-            return;
-        }
-        let cap = words.next_power_of_two();
-        self.mask = cap - 1;
-        if self.epoch == 0 {
-            self.epoch = 1;
-            return;
-        }
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            self.slot_epoch.fill(0);
-            self.epoch = 1;
-        }
-    }
-
-    /// Grows the slot and record arrays to cover `slot` — same lazy
-    /// high-water scheme as [`ContentionTable::ensure`] (the record
-    /// arrays are `HISTORY_RING` entries per slot, so eager sizing
-    /// would be hundreds of megabytes at device scale).
-    #[inline]
-    fn ensure(&mut self, slot: usize) {
-        if slot >= self.slot_epoch.len() {
-            let n = (slot + 1).next_power_of_two();
-            self.slot_epoch.resize(n, 0);
-            self.ctl.resize(n, 0);
-            self.id.resize(n * HISTORY_RING, 0);
-            self.sync.resize(n * HISTORY_RING, 0);
-            self.locks.resize(n * HISTORY_RING, 0);
-        }
-    }
-
-    /// Appends a record, evicting the oldest once the ring is full (the
-    /// old `push_back` + trim-to-depth).
-    fn push(&mut self, word: u32, info: AccessorInfo, locks: u16) {
-        let slot = word as usize & self.mask;
-        self.ensure(slot);
-        let (mut head, mut len) = if self.slot_epoch[slot] == self.epoch {
-            let c = self.ctl[slot];
-            ((c >> 4) as usize, (c & 0xF) as usize)
-        } else {
-            (0, 0)
-        };
-        let pos = if len == self.depth {
-            let oldest = head;
-            head = (head + 1) % self.depth;
-            oldest
-        } else {
-            let p = (head + len) % self.depth;
-            len += 1;
-            p
-        };
-        let at = slot * HISTORY_RING + pos;
-        self.id[at] = (u64::from(info.warp_id) << 32) | u64::from(info.lane);
-        self.sync[at] = u32::from(info.dev_fence)
-            | (u32::from(info.blk_fence) << 8)
-            | (u32::from(info.blk_bar) << 16)
-            | (u32::from(info.warp_bar) << 24);
-        self.locks[at] = locks;
-        self.slot_epoch[slot] = self.epoch;
-        self.ctl[slot] = ((head as u8) << 4) | len as u8;
-    }
-
-    /// Yields `word`'s records newest-first, skipping the newest (which
-    /// duplicates the entry's own accessor) — the `iter().rev().skip(1)`
-    /// order of the old `VecDeque`.
-    fn rev_skip_newest(&self, word: u32) -> impl Iterator<Item = (AccessorInfo, u16)> + '_ {
-        let slot = word as usize & self.mask;
-        let (head, len) = if self.depth > 1 && self.slot_epoch.get(slot) == Some(&self.epoch) {
-            let c = self.ctl[slot];
-            ((c >> 4) as usize, (c & 0xF) as usize)
-        } else {
-            (0, 0)
-        };
-        (0..len.saturating_sub(1)).rev().map(move |i| {
-            let at = slot * HISTORY_RING + (head + i) % self.depth;
-            let id = self.id[at];
-            let sync = self.sync[at];
-            let info = AccessorInfo {
-                warp_id: (id >> 32) as u32,
-                lane: id as u32,
-                dev_fence: sync as u8,
-                blk_fence: (sync >> 8) as u8,
-                blk_bar: (sync >> 16) as u8,
-                warp_bar: (sync >> 24) as u8,
-            };
-            (info, self.locks[at])
-        })
-    }
-}
-
 /// The iGUARD race detector.
 #[derive(Debug)]
 pub struct Iguard {
     cfg: IguardConfig,
     sync: Option<SyncMetadata>,
     locks: Vec<WarpLockState>,
-    table: Option<MetadataTable>,
+    engine: Engine,
     reporter: RaceReporter,
-    contention: ContentionTable,
-    history: HistoryTable,
     stats: IguardStats,
-    total_warps: u32,
-    window: u64,
     /// Reusable scratch for the uncoalesced same-entry dedup check, so the
     /// per-split hot path does not heap-allocate.
     scratch_words: Vec<u32>,
@@ -321,6 +121,64 @@ pub struct Iguard {
 impl Default for Iguard {
     fn default() -> Self {
         Self::new(IguardConfig::default())
+    }
+}
+
+/// The serial detector's [`Sink`]: every engine observation becomes an
+/// immediate counter increment, clock charge, or reporter send — in
+/// exactly the order the pre-refactor monolithic path produced them.
+struct SerialSink<'a, 'b> {
+    stats: &'a mut IguardStats,
+    reporter: &'a mut RaceReporter,
+    clock: &'a mut Clock,
+    access: &'a MemAccess<'b>,
+    lane_access: &'a LaneAccess,
+}
+
+impl Sink for SerialSink<'_, '_> {
+    fn profiling(&self) -> bool {
+        self.clock.profiling()
+    }
+
+    fn uvm_ns(&mut self, ns: u64) {
+        self.clock.add_phase_ns(Phase::Uvm, ns);
+    }
+
+    fn uvm_cycles(&mut self, cycles: u64) {
+        self.stats.uvm_cycles += cycles;
+        self.clock.charge_serial(CostCategory::Detection, cycles);
+    }
+
+    fn missed_check(&mut self) {
+        self.stats.missed_checks += 1;
+    }
+
+    fn contended(&mut self, cycles: u64) {
+        self.stats.contended_accesses += 1;
+        self.stats.contention_cycles += cycles;
+        self.clock.charge_serial(CostCategory::Detection, cycles);
+    }
+
+    fn safe_hit(&mut self, idx: usize) {
+        self.stats.safe_hits[idx] += 1;
+    }
+
+    fn race(&mut self, kind: RaceKind, curr: &CurrAccess, md_info: AccessorInfo) {
+        self.stats.race_hits[race_index(kind)] += 1;
+        let record = RaceRecord {
+            kernel: self.access.kernel.name.clone(),
+            pc: self.access.pc,
+            line: self.access.kernel.line(self.access.pc).map(str::to_owned),
+            addr: self.lane_access.addr,
+            kind,
+            access: curr.kind,
+            warp: curr.warp_id,
+            lane: curr.lane,
+            block: curr.block_id,
+            prev_warp: md_info.warp_id,
+            prev_lane: md_info.lane,
+        };
+        self.reporter.report(record, self.clock);
     }
 }
 
@@ -343,13 +201,9 @@ impl Iguard {
             cfg,
             sync: None,
             locks: Vec::new(),
-            table: None,
+            engine: Engine::default(),
             reporter,
-            contention: ContentionTable::default(),
-            history: HistoryTable::default(),
             stats: IguardStats::default(),
-            total_warps: 0,
-            window: 64,
             scratch_words: Vec::with_capacity(32),
             scratch_pairs: Vec::with_capacity(32),
         })
@@ -365,6 +219,7 @@ impl Iguard {
     #[must_use]
     pub fn degradation(&self) -> Degradation {
         let meta = self
+            .engine
             .table
             .as_ref()
             .map(MetadataTable::meta_stats)
@@ -386,7 +241,7 @@ impl Iguard {
     #[must_use]
     pub fn fault_stats(&self) -> FaultStats {
         let mut total = self.reporter.fault_stats();
-        if let Some(t) = &self.table {
+        if let Some(t) = &self.engine.table {
             total.accumulate(&t.fault_stats());
         }
         total
@@ -401,7 +256,8 @@ impl Iguard {
     /// UVM statistics of the metadata region (empty before first launch).
     #[must_use]
     pub fn uvm_stats(&self) -> uvm_sim::UvmStats {
-        self.table
+        self.engine
+            .table
             .as_ref()
             .map(MetadataTable::uvm_stats)
             .unwrap_or_default()
@@ -430,44 +286,13 @@ impl Iguard {
         crate::report::group_sites(&records)
     }
 
-    fn sync(&self) -> &SyncMetadata {
-        self.sync
-            .as_ref()
-            .expect("detector received access before launch")
-    }
-
-    /// Charges metadata-lock serialization for one access to `word` and
-    /// returns nothing; the model is described in DESIGN.md §4: a streak of
-    /// temporally-close accesses to the same entry by different warps
-    /// approximates the number of contenders for the entry's lock.
-    fn charge_contention(&mut self, word: u32, warp: u32, step: u64, clock: &mut Clock) {
-        let streak = self.contention.update(word, warp, step, self.window);
-        if streak > 1 {
-            self.stats.contended_accesses += 1;
-            let cycles = if self.cfg.backoff {
-                // Dynamically-adjusted exponential backoff: contenders
-                // spread out and hand the lock off cleanly, so each pays
-                // roughly one critical section of serialization.
-                self.cfg.contention_base
-            } else {
-                // Unmitigated CAS hammering: every retry burns memory
-                // bandwidth and delays the holder, so the per-access waste
-                // grows with the number of concurrent contenders.
-                2 * u64::from(streak.min(96))
-            };
-            self.stats.contention_cycles += cycles;
-            clock.charge_serial(CostCategory::Detection, cycles);
-        }
-    }
-
     /// The per-access detection pipeline (§6.2, §6.4).
     ///
     /// Cycle charges for the data-parallel part of the check happen once
     /// per warp split in [`Tool::on_mem`] (the injected device function
-    /// runs on the SIMD unit, all lanes in parallel); this method charges
-    /// only the *serializing* components — UVM faults and metadata-lock
-    /// contention.
-    #[allow(clippy::too_many_arguments)]
+    /// runs on the SIMD unit, all lanes in parallel); the engine-driven
+    /// part charges only the *serializing* components — UVM faults and
+    /// metadata-lock contention.
     fn process_access(
         &mut self,
         lane_access: &LaneAccess,
@@ -478,232 +303,61 @@ impl Iguard {
         // Graceful degradation: an access with no live launch state
         // (table allocation failed, or the event arrived before any
         // launch) is dropped and counted instead of panicking.
-        if self.table.is_none() || self.sync.is_none() || self.locks.is_empty() {
+        if self.engine.table.is_none() || self.sync.is_none() || self.locks.is_empty() {
             self.stats.orphan_events += 1;
             return;
         }
         self.stats.accesses += 1;
 
-        let word = lane_access.addr / 4;
         let warp = access.global_warp;
         let lane = lane_access.lane;
-        let block = access.block_id;
-        let wpb = access.warps_per_block;
-
-        // Metadata lookup: UVM touch + contention serialization.
-        let t0 = clock.profiling().then(Instant::now);
-        let loaded = self.table.as_mut().expect("guarded above").load(word);
-        if let Some(t) = t0 {
-            clock.add_phase_ns(Phase::Uvm, t.elapsed().as_nanos() as u64);
-        }
-        if loaded.uvm_cycles > 0 {
-            self.stats.uvm_cycles += loaded.uvm_cycles;
-            clock.charge_serial(CostCategory::Detection, loaded.uvm_cycles);
-        }
-        if loaded.evicted {
-            // The entry's previous accessor was forgotten (capacity
-            // pressure or injected fault): the check below degenerates to
-            // a first access, so a race could slip by — count it.
-            self.stats.missed_checks += 1;
-        }
-        self.charge_contention(word, warp, access.step, clock);
-
-        let mut entry = loaded.entry;
-        let snap = self.sync().snapshot(warp, lane);
-        let lock_summary = self.locks[warp as usize].summary(lane);
-
-        if !entry.flags.valid {
-            // P1: first access.
-            self.stats.safe_hits[0] += 1;
-            entry.flags.valid = true;
-            entry.accessor = snap;
-            if kind.is_write() {
-                entry.writer = snap;
-                entry.locks = lock_summary;
-                entry.flags.modified = true;
-                if let AccessType::Atomic { scope_block } = kind {
-                    entry.flags.atomic = true;
-                    entry.flags.scope_block = scope_block;
-                }
-            }
-            self.push_history(word, snap, lock_summary);
-            self.table.as_mut().expect("guarded above").store(word, entry);
-            return;
-        }
-
-        // Shared-flag update precedes the checks (§6.2).
-        let last_block = entry.accessor.block_id(wpb);
-        if last_block != block {
-            entry.flags.dev_shared = true;
-        } else if entry.accessor.warp_id != warp {
-            entry.flags.blk_shared = true;
-        }
-
-        let md_info = if kind.is_write() {
-            entry.accessor
-        } else {
-            entry.writer
-        };
-        let md = self.md_view(md_info);
-        let mut curr = CurrAccess {
-            kind,
-            warp_id: warp,
+        let sync = self.sync.as_ref().expect("guarded above");
+        let ctx = AccessCtx {
+            word: lane_access.addr / 4,
+            warp,
             lane,
-            block_id: block,
+            block: access.block_id,
+            wpb: access.warps_per_block,
+            step: access.step,
             active_mask: access.active_mask,
-            snap,
-            locks: lock_summary,
-        };
-        if !self.cfg.its_support && md_info.warp_id == warp {
-            // ScoRD mode: the detector predates ITS and assumes lockstep
-            // warps -- same-warp accesses are always treated as converged,
-            // which is exactly why ScoRD misses ITS races (Sec 4).
-            curr.active_mask |= 1 << md_info.lane;
-        }
-
-        match preliminary(&entry, &md, &curr, wpb) {
-            Some(safe) => {
-                let idx = match safe {
-                    Safe::FirstAccess => 0,
-                    Safe::NoWrite => 1,
-                    Safe::ProgramOrder => 2,
-                    Safe::WarpSynced => 3,
-                    Safe::Barrier => 4,
-                    Safe::SafeAtomic => 5,
-                };
-                self.stats.safe_hits[idx] += 1;
-            }
-            None => {
-                let mut verdict = detailed(&entry, &md, &curr, wpb);
-                // §6.7 ablation: with deeper history, also check against
-                // older accessors that the 16-byte entry has forgotten.
-                if verdict.is_none() && self.cfg.history_depth > 1 {
-                    verdict = self.check_history(word, &entry, &curr, wpb);
-                }
-                if let Some(kind_found) = verdict {
-                    self.record_race(kind_found, &curr, access, lane_access, md_info, clock);
-                }
-            }
-        }
-
-        // Metadata write-back: identity + synchronization of the accessor,
-        // and of the writer for writes (§6.2).
-        entry.accessor = snap;
-        if kind.is_write() {
-            entry.writer = snap;
-            entry.locks = lock_summary;
-            entry.flags.modified = true;
-            if let AccessType::Atomic { scope_block } = kind {
-                entry.flags.atomic = true;
-                entry.flags.scope_block = scope_block;
-            } else {
-                // A plain store supersedes the atomic history of the
-                // location: P6 must not treat a plain last-write as a safe
-                // atomic (engineering choice documented in DESIGN.md).
-                entry.flags.atomic = false;
-                entry.flags.scope_block = false;
-            }
-        }
-        self.push_history(word, snap, lock_summary);
-        self.table.as_mut().expect("guarded above").store(word, entry);
-    }
-
-    fn md_view(&self, info: AccessorInfo) -> MdView {
-        let sync = self.sync();
-        // Identity is only meaningful within the current launch epoch; a
-        // wrapped WarpID outside the grid falls back to stored counters.
-        if info.warp_id < self.total_warps {
-            MdView {
-                info,
-                live_dev_fence: sync.dev_fence(info.warp_id, info.lane),
-                live_blk_fence: sync.blk_fence(info.warp_id, info.lane),
-            }
-        } else {
-            MdView {
-                info,
-                live_dev_fence: info.dev_fence,
-                live_blk_fence: info.blk_fence,
-            }
-        }
-    }
-
-    fn push_history(&mut self, word: u32, info: AccessorInfo, locks: u16) {
-        if self.history.depth <= 1 {
-            return;
-        }
-        self.history.push(word, info, locks);
-    }
-
-    fn check_history(
-        &self,
-        word: u32,
-        entry: &MetadataEntry,
-        curr: &CurrAccess,
-        wpb: u32,
-    ) -> Option<RaceKind> {
-        for (info, locks) in self.history.rev_skip_newest(word) {
-            let md = self.md_view(info);
-            let mut shadow = *entry;
-            shadow.locks = locks;
-            if preliminary(&shadow, &md, curr, wpb).is_none() {
-                if let Some(kind) = detailed(&shadow, &md, curr, wpb) {
-                    return Some(kind);
-                }
-            }
-        }
-        None
-    }
-
-    fn record_race(
-        &mut self,
-        kind: RaceKind,
-        curr: &CurrAccess,
-        access: &MemAccess<'_>,
-        lane_access: &LaneAccess,
-        md_info: AccessorInfo,
-        clock: &mut Clock,
-    ) {
-        let idx = match kind {
-            RaceKind::AtomicScope => 0,
-            RaceKind::IntraWarp => 1,
-            RaceKind::IntraBlock => 2,
-            RaceKind::InterBlock => 3,
-            RaceKind::Locking => 4,
-        };
-        self.stats.race_hits[idx] += 1;
-        let record = RaceRecord {
-            kernel: access.kernel.name.clone(),
-            pc: access.pc,
-            line: access.kernel.line(access.pc).map(str::to_owned),
-            addr: lane_access.addr,
             kind,
-            access: curr.kind,
-            warp: curr.warp_id,
-            lane: curr.lane,
-            block: curr.block_id,
-            prev_warp: md_info.warp_id,
-            prev_lane: md_info.lane,
+            snap: sync.snapshot(warp, lane),
+            lock_summary: self.locks[warp as usize].summary(lane),
         };
-        self.reporter.report(record, clock);
+        let mut sink = SerialSink {
+            stats: &mut self.stats,
+            reporter: &mut self.reporter,
+            clock,
+            access,
+            lane_access,
+        };
+        self.engine.process(&ctx, sync, &mut sink);
     }
 }
 
 impl Tool for Iguard {
     fn at_launch(&mut self, info: &LaunchInfo, clock: &mut Clock) {
         self.stats.launches += 1;
-        self.total_warps = info.total_warps;
-        self.window = if self.cfg.contention_window > 0 {
+        let window = if self.cfg.contention_window > 0 {
             self.cfg.contention_window
         } else {
             64.max(u64::from(info.total_warps))
         };
         self.sync = Some(SyncMetadata::new(info.grid_dim, info.warps_per_block));
         self.locks = vec![WarpLockState::default(); info.total_warps as usize];
-        self.contention.begin_launch(info.backing_words);
-        self.history
-            .begin_launch(info.backing_words, self.cfg.history_depth);
+        self.engine.begin_launch(
+            info.backing_words,
+            info.total_warps,
+            window,
+            EngineParams {
+                backoff: self.cfg.backoff,
+                contention_base: self.cfg.contention_base,
+                its_support: self.cfg.its_support,
+                history_depth: self.cfg.history_depth,
+            },
+        );
 
-        match &mut self.table {
+        match &mut self.engine.table {
             Some(table) => table.begin_epoch(),
             None => {
                 // First launch: allocate the managed metadata region sized
@@ -728,7 +382,7 @@ impl Tool for Iguard {
                             setup += table.prefault(needed.max(ENTRY_BYTES));
                         }
                         clock.charge_serial(CostCategory::Setup, setup);
-                        self.table = Some(table);
+                        self.engine.table = Some(table);
                     }
                     Err(_) => {
                         // Degrade instead of crashing the launch: run blind

@@ -1,0 +1,531 @@
+//! The shared per-word detection engine: the "back half" of the pipeline.
+//!
+//! [`crate::detector::Iguard`] splits each instrumented access into a
+//! *front half* that must run inside the instrumentation callback (lock
+//! inference, coalescing, synchronization snapshots — everything that
+//! reads live launch state) and a *back half* that only needs the flat
+//! metadata/contention/history tables keyed by word index. This module is
+//! that back half, extracted so the serial detector and the sharded
+//! detector ([`crate::shard::ShardedIguard`]) execute the **identical**
+//! check pipeline: the serial path drives it with an inline [`Sink`] that
+//! charges the clock and reports races immediately, while shard workers
+//! drive it with a deferred sink that accumulates deltas and seq-tagged
+//! race candidates for a deterministic merge.
+//!
+//! Everything observable (counter increments, check outcomes, write-back
+//! contents, history pushes) is decided here, once, for both paths.
+
+use std::time::Instant;
+
+use crate::bitfield::{AccessorInfo, MetadataEntry};
+use crate::checks::{detailed, preliminary, AccessType, CurrAccess, MdView, RaceKind, Safe};
+use crate::metadata::MetadataTable;
+use crate::syncmeta::SyncMetadata;
+
+/// Capacity of the inline history ring; the §6.7 ablation tops out at
+/// depth 8, and [`HistoryTable`] clamps deeper configurations to it.
+pub(crate) const HISTORY_RING: usize = 8;
+
+/// Maps a preliminary-check outcome to its `safe_hits` slot.
+#[must_use]
+pub(crate) fn safe_index(safe: Safe) -> usize {
+    match safe {
+        Safe::FirstAccess => 0,
+        Safe::NoWrite => 1,
+        Safe::ProgramOrder => 2,
+        Safe::WarpSynced => 3,
+        Safe::Barrier => 4,
+        Safe::SafeAtomic => 5,
+    }
+}
+
+/// Maps a race kind to its `race_hits` slot.
+#[must_use]
+pub(crate) fn race_index(kind: RaceKind) -> usize {
+    match kind {
+        RaceKind::AtomicScope => 0,
+        RaceKind::IntraWarp => 1,
+        RaceKind::IntraBlock => 2,
+        RaceKind::InterBlock => 3,
+        RaceKind::Locking => 4,
+    }
+}
+
+/// Flat, epoch-invalidated per-word contention state.
+///
+/// Indexed by metadata word exactly like `MetadataTable` (power-of-two
+/// capacity ≥ the backing words, so every in-bounds word index maps
+/// injectively to its own slot): a slot whose epoch is stale reads as the
+/// zeroed default the old `HashMap::entry(word).or_default()` produced,
+/// so the replacement is behaviour-identical while removing hashing and
+/// allocation from the per-access path. Backing vectors are zero-filled
+/// allocations, so untouched slots never cost physical pages.
+#[derive(Debug, Default)]
+struct ContentionTable {
+    mask: usize,
+    epoch: u32,
+    slot_epoch: Vec<u32>,
+    last_step: Vec<u64>,
+    last_warp: Vec<u32>,
+    streak: Vec<u32>,
+}
+
+impl ContentionTable {
+    /// Sets the slot mask for `words` and invalidates every slot (the old
+    /// per-launch `HashMap::clear`), without touching the backing pages.
+    /// Storage itself grows lazily (see [`ContentionTable::ensure`]).
+    fn begin_launch(&mut self, words: usize) {
+        let cap = words.next_power_of_two();
+        self.mask = cap - 1;
+        if self.epoch == 0 {
+            self.epoch = 1;
+            return;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // The 32-bit epoch wrapped: stale slots could masquerade as
+            // live, so pay one real clear every 2^32 launches.
+            self.slot_epoch.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Grows the slot arrays to cover `slot`. The mapping is identity
+    /// for in-range words, so growing to the touched high-water mark is
+    /// equivalent to full preallocation — without zeroing tens of
+    /// megabytes per detector for the device's whole address space.
+    /// Fresh slots get epoch 0, which never equals the live epoch.
+    #[inline]
+    fn ensure(&mut self, slot: usize) {
+        if slot >= self.slot_epoch.len() {
+            let n = (slot + 1).next_power_of_two();
+            self.slot_epoch.resize(n, 0);
+            self.last_step.resize(n, 0);
+            self.last_warp.resize(n, 0);
+            self.streak.resize(n, 0);
+        }
+    }
+
+    /// Applies the streak update for one access and returns the updated
+    /// streak (the state machine of the contention charge, unchanged).
+    fn update(&mut self, word: u32, warp: u32, step: u64, window: u64) -> u32 {
+        let slot = word as usize & self.mask;
+        self.ensure(slot);
+        let (last_step, last_warp, mut streak) = if self.slot_epoch[slot] == self.epoch {
+            (self.last_step[slot], self.last_warp[slot], self.streak[slot])
+        } else {
+            (0, 0, 0)
+        };
+        let close = step.saturating_sub(last_step) <= window;
+        if close && last_warp != warp {
+            streak = streak.saturating_add(1);
+        } else if !close {
+            streak = 1;
+        }
+        self.slot_epoch[slot] = self.epoch;
+        self.last_step[slot] = step;
+        self.last_warp[slot] = warp;
+        self.streak[slot] = streak;
+        streak
+    }
+}
+
+/// Flat fixed-capacity history rings (§6.7 ablation depths > 1), indexed
+/// like [`ContentionTable`] and invalidated the same way. Replaces the
+/// old `HashMap<u32, VecDeque<HistRecord>>`: per-word rings of at most
+/// [`HISTORY_RING`] records live inline in flat arrays, so pushing a
+/// record allocates nothing. Records store the accessor identity
+/// losslessly (unlike the packed 16-byte entry, whose fields truncate).
+#[derive(Debug, Default)]
+struct HistoryTable {
+    /// Records kept per word: `min(cfg.history_depth, HISTORY_RING)`.
+    /// `<= 1` disables the table (the entry itself is depth-1 history).
+    depth: usize,
+    mask: usize,
+    epoch: u32,
+    slot_epoch: Vec<u32>,
+    /// Per-slot ring control: `head << 4 | len` (both fit: depth ≤ 8).
+    ctl: Vec<u8>,
+    /// Per-record identity: `warp_id << 32 | lane`.
+    id: Vec<u64>,
+    /// Per-record sync counters, one byte each:
+    /// `dev_fence | blk_fence << 8 | blk_bar << 16 | warp_bar << 24`.
+    sync: Vec<u32>,
+    /// Per-record lock Bloom summary.
+    locks: Vec<u16>,
+}
+
+impl HistoryTable {
+    fn begin_launch(&mut self, words: usize, configured_depth: usize) {
+        self.depth = configured_depth.min(HISTORY_RING);
+        if self.depth <= 1 {
+            return;
+        }
+        let cap = words.next_power_of_two();
+        self.mask = cap - 1;
+        if self.epoch == 0 {
+            self.epoch = 1;
+            return;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.slot_epoch.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Grows the slot and record arrays to cover `slot` — same lazy
+    /// high-water scheme as [`ContentionTable::ensure`] (the record
+    /// arrays are `HISTORY_RING` entries per slot, so eager sizing
+    /// would be hundreds of megabytes at device scale).
+    #[inline]
+    fn ensure(&mut self, slot: usize) {
+        if slot >= self.slot_epoch.len() {
+            let n = (slot + 1).next_power_of_two();
+            self.slot_epoch.resize(n, 0);
+            self.ctl.resize(n, 0);
+            self.id.resize(n * HISTORY_RING, 0);
+            self.sync.resize(n * HISTORY_RING, 0);
+            self.locks.resize(n * HISTORY_RING, 0);
+        }
+    }
+
+    /// Appends a record, evicting the oldest once the ring is full (the
+    /// old `push_back` + trim-to-depth).
+    fn push(&mut self, word: u32, info: AccessorInfo, locks: u16) {
+        let slot = word as usize & self.mask;
+        self.ensure(slot);
+        let (mut head, mut len) = if self.slot_epoch[slot] == self.epoch {
+            let c = self.ctl[slot];
+            ((c >> 4) as usize, (c & 0xF) as usize)
+        } else {
+            (0, 0)
+        };
+        let pos = if len == self.depth {
+            let oldest = head;
+            head = (head + 1) % self.depth;
+            oldest
+        } else {
+            let p = (head + len) % self.depth;
+            len += 1;
+            p
+        };
+        let at = slot * HISTORY_RING + pos;
+        self.id[at] = (u64::from(info.warp_id) << 32) | u64::from(info.lane);
+        self.sync[at] = u32::from(info.dev_fence)
+            | (u32::from(info.blk_fence) << 8)
+            | (u32::from(info.blk_bar) << 16)
+            | (u32::from(info.warp_bar) << 24);
+        self.locks[at] = locks;
+        self.slot_epoch[slot] = self.epoch;
+        self.ctl[slot] = ((head as u8) << 4) | len as u8;
+    }
+
+    /// Yields `word`'s records newest-first, skipping the newest (which
+    /// duplicates the entry's own accessor) — the `iter().rev().skip(1)`
+    /// order of the old `VecDeque`.
+    fn rev_skip_newest(&self, word: u32) -> impl Iterator<Item = (AccessorInfo, u16)> + '_ {
+        let slot = word as usize & self.mask;
+        let (head, len) = if self.depth > 1 && self.slot_epoch.get(slot) == Some(&self.epoch) {
+            let c = self.ctl[slot];
+            ((c >> 4) as usize, (c & 0xF) as usize)
+        } else {
+            (0, 0)
+        };
+        (0..len.saturating_sub(1)).rev().map(move |i| {
+            let at = slot * HISTORY_RING + (head + i) % self.depth;
+            let id = self.id[at];
+            let sync = self.sync[at];
+            let info = AccessorInfo {
+                warp_id: (id >> 32) as u32,
+                lane: id as u32,
+                dev_fence: sync as u8,
+                blk_fence: (sync >> 8) as u8,
+                blk_bar: (sync >> 16) as u8,
+                warp_bar: (sync >> 24) as u8,
+            };
+            (info, self.locks[at])
+        })
+    }
+}
+
+/// Configuration knobs the engine reads per access, frozen at launch.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EngineParams {
+    /// §6.5 optimization 2: contenders back off instead of hammering.
+    pub backoff: bool,
+    /// Serial cycles per unit of contention under backoff.
+    pub contention_base: u64,
+    /// ScoRD emulation when false: same-warp accesses treated converged.
+    pub its_support: bool,
+    /// Accessor-history depth (§6.7 ablation); 1 disables the table.
+    pub history_depth: usize,
+}
+
+/// One routed access, fully resolved by the front half: everything the
+/// back half needs that depends on *live* launch state (synchronization
+/// snapshot, lock summary) is captured here at access time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AccessCtx {
+    /// Word index the engine's tables are keyed by. For shards this is
+    /// the *sub-word* (original word with the shard bits stripped).
+    pub word: u32,
+    pub warp: u32,
+    pub lane: u32,
+    pub block: u32,
+    pub wpb: u32,
+    pub step: u64,
+    pub active_mask: u32,
+    pub kind: AccessType,
+    /// Synchronization snapshot taken at access time (front half).
+    pub snap: AccessorInfo,
+    /// Lock Bloom summary of the accessing lane at access time.
+    pub lock_summary: u16,
+}
+
+/// Where the engine's observations land. The serial detector implements
+/// this with immediate clock charges and reporter sends; shard workers
+/// accumulate deltas. Callback order within one access is fixed by
+/// [`Engine::process`] and identical for both.
+pub(crate) trait Sink {
+    /// Whether to wall-clock the metadata load (phase profiling).
+    fn profiling(&self) -> bool;
+    /// Wall nanoseconds spent in the metadata load (only if profiling).
+    fn uvm_ns(&mut self, ns: u64);
+    /// UVM fault cycles charged by the metadata load (> 0 only).
+    fn uvm_cycles(&mut self, cycles: u64);
+    /// The entry's previous accessor was lost before this check.
+    fn missed_check(&mut self);
+    /// The entry was found contended; `cycles` of serialization accrue.
+    fn contended(&mut self, cycles: u64);
+    /// A preliminary condition proved the access safe.
+    fn safe_hit(&mut self, idx: usize);
+    /// A race verdict. `curr` is the fully-built current access (after
+    /// the ScoRD mask twiddle), `md_info` the previous accessor raced
+    /// against.
+    fn race(&mut self, kind: RaceKind, curr: &CurrAccess, md_info: AccessorInfo);
+}
+
+/// The flat per-word detection state: metadata + contention + history
+/// tables plus the check pipeline over them (§6.2, §6.4).
+///
+/// One engine serves the whole address space in the serial detector;
+/// [`crate::shard::ShardedIguard`] owns one per hashed-address shard.
+#[derive(Debug, Default)]
+pub(crate) struct Engine {
+    /// Packed 16-byte-entry metadata table; `None` until the owner
+    /// allocates it at first launch (allocation cost accounting differs
+    /// between serial and sharded, so it stays owner-side).
+    pub table: Option<MetadataTable>,
+    contention: ContentionTable,
+    history: HistoryTable,
+    params: EngineParams,
+    window: u64,
+    total_warps: u32,
+}
+
+impl Engine {
+    /// Per-launch reset: epoch-invalidates the contention and history
+    /// tables and freezes this launch's parameters.
+    pub fn begin_launch(
+        &mut self,
+        words: usize,
+        total_warps: u32,
+        window: u64,
+        params: EngineParams,
+    ) {
+        self.total_warps = total_warps;
+        self.window = window;
+        self.params = params;
+        self.contention.begin_launch(words);
+        self.history.begin_launch(words, params.history_depth);
+    }
+
+    /// The per-access detection pipeline (§6.2, §6.4): metadata load
+    /// (UVM + eviction accounting), contention streak, shared-flag
+    /// update, two-tier P/R checks, history, metadata write-back.
+    ///
+    /// The caller guarantees `self.table` is `Some` (orphan events are
+    /// counted front-side before routing).
+    pub fn process(&mut self, ctx: &AccessCtx, sync: &SyncMetadata, sink: &mut impl Sink) {
+        let word = ctx.word;
+
+        // Metadata lookup: UVM touch + contention serialization.
+        let t0 = sink.profiling().then(Instant::now);
+        let loaded = self.table.as_mut().expect("caller guards table").load(word);
+        if let Some(t) = t0 {
+            sink.uvm_ns(t.elapsed().as_nanos() as u64);
+        }
+        if loaded.uvm_cycles > 0 {
+            sink.uvm_cycles(loaded.uvm_cycles);
+        }
+        if loaded.evicted {
+            // The entry's previous accessor was forgotten (capacity
+            // pressure or injected fault): the check below degenerates to
+            // a first access, so a race could slip by — count it.
+            sink.missed_check();
+        }
+        let streak = self.contention.update(word, ctx.warp, ctx.step, self.window);
+        if streak > 1 {
+            let cycles = if self.params.backoff {
+                // Dynamically-adjusted exponential backoff: contenders
+                // spread out and hand the lock off cleanly, so each pays
+                // roughly one critical section of serialization.
+                self.params.contention_base
+            } else {
+                // Unmitigated CAS hammering: every retry burns memory
+                // bandwidth and delays the holder, so the per-access waste
+                // grows with the number of concurrent contenders.
+                2 * u64::from(streak.min(96))
+            };
+            sink.contended(cycles);
+        }
+
+        let mut entry = loaded.entry;
+        let snap = ctx.snap;
+        let lock_summary = ctx.lock_summary;
+
+        if !entry.flags.valid {
+            // P1: first access.
+            sink.safe_hit(0);
+            entry.flags.valid = true;
+            entry.accessor = snap;
+            if ctx.kind.is_write() {
+                entry.writer = snap;
+                entry.locks = lock_summary;
+                entry.flags.modified = true;
+                if let AccessType::Atomic { scope_block } = ctx.kind {
+                    entry.flags.atomic = true;
+                    entry.flags.scope_block = scope_block;
+                }
+            }
+            self.push_history(word, snap, lock_summary);
+            self.table
+                .as_mut()
+                .expect("caller guards table")
+                .store(word, entry);
+            return;
+        }
+
+        // Shared-flag update precedes the checks (§6.2).
+        let last_block = entry.accessor.block_id(ctx.wpb);
+        if last_block != ctx.block {
+            entry.flags.dev_shared = true;
+        } else if entry.accessor.warp_id != ctx.warp {
+            entry.flags.blk_shared = true;
+        }
+
+        let md_info = if ctx.kind.is_write() {
+            entry.accessor
+        } else {
+            entry.writer
+        };
+        let md = self.md_view(md_info, sync);
+        let mut curr = CurrAccess {
+            kind: ctx.kind,
+            warp_id: ctx.warp,
+            lane: ctx.lane,
+            block_id: ctx.block,
+            active_mask: ctx.active_mask,
+            snap,
+            locks: lock_summary,
+        };
+        if !self.params.its_support && md_info.warp_id == ctx.warp {
+            // ScoRD mode: the detector predates ITS and assumes lockstep
+            // warps -- same-warp accesses are always treated as converged,
+            // which is exactly why ScoRD misses ITS races (Sec 4).
+            curr.active_mask |= 1 << md_info.lane;
+        }
+
+        match preliminary(&entry, &md, &curr, ctx.wpb) {
+            Some(safe) => sink.safe_hit(safe_index(safe)),
+            None => {
+                let mut verdict = detailed(&entry, &md, &curr, ctx.wpb);
+                // §6.7 ablation: with deeper history, also check against
+                // older accessors that the 16-byte entry has forgotten.
+                if verdict.is_none() && self.params.history_depth > 1 {
+                    verdict = self.check_history(word, &entry, &curr, ctx.wpb, sync);
+                }
+                if let Some(kind_found) = verdict {
+                    sink.race(kind_found, &curr, md_info);
+                }
+            }
+        }
+
+        // Metadata write-back: identity + synchronization of the accessor,
+        // and of the writer for writes (§6.2).
+        entry.accessor = snap;
+        if ctx.kind.is_write() {
+            entry.writer = snap;
+            entry.locks = lock_summary;
+            entry.flags.modified = true;
+            if let AccessType::Atomic { scope_block } = ctx.kind {
+                entry.flags.atomic = true;
+                entry.flags.scope_block = scope_block;
+            } else {
+                // A plain store supersedes the atomic history of the
+                // location: P6 must not treat a plain last-write as a safe
+                // atomic (engineering choice documented in DESIGN.md).
+                entry.flags.atomic = false;
+                entry.flags.scope_block = false;
+            }
+        }
+        self.push_history(word, snap, lock_summary);
+        self.table
+            .as_mut()
+            .expect("caller guards table")
+            .store(word, entry);
+    }
+
+    /// Resolves a stored accessor into a check view: fence counters are
+    /// read *live* from the synchronization metadata when the identity is
+    /// within the current grid, otherwise from the stored snapshot. (This
+    /// is the only live-sync read on the check path — barrier counters
+    /// are only consumed via access-time snapshots — which is what makes
+    /// fence-broadcast shard replicas sufficient for determinism.)
+    fn md_view(&self, info: AccessorInfo, sync: &SyncMetadata) -> MdView {
+        // Identity is only meaningful within the current launch epoch; a
+        // wrapped WarpID outside the grid falls back to stored counters.
+        if info.warp_id < self.total_warps {
+            MdView {
+                info,
+                live_dev_fence: sync.dev_fence(info.warp_id, info.lane),
+                live_blk_fence: sync.blk_fence(info.warp_id, info.lane),
+            }
+        } else {
+            MdView {
+                info,
+                live_dev_fence: info.dev_fence,
+                live_blk_fence: info.blk_fence,
+            }
+        }
+    }
+
+    fn push_history(&mut self, word: u32, info: AccessorInfo, locks: u16) {
+        if self.history.depth <= 1 {
+            return;
+        }
+        self.history.push(word, info, locks);
+    }
+
+    fn check_history(
+        &self,
+        word: u32,
+        entry: &MetadataEntry,
+        curr: &CurrAccess,
+        wpb: u32,
+        sync: &SyncMetadata,
+    ) -> Option<RaceKind> {
+        for (info, locks) in self.history.rev_skip_newest(word) {
+            let md = self.md_view(info, sync);
+            let mut shadow = *entry;
+            shadow.locks = locks;
+            if preliminary(&shadow, &md, curr, wpb).is_none() {
+                if let Some(kind) = detailed(&shadow, &md, curr, wpb) {
+                    return Some(kind);
+                }
+            }
+        }
+        None
+    }
+}

@@ -53,11 +53,13 @@ pub mod bitfield;
 pub mod checks;
 pub mod config;
 pub mod detector;
+pub(crate) mod engine;
 pub mod error;
 pub mod locks;
 pub mod metadata;
 pub mod report;
 pub mod scratchpad;
+pub mod shard;
 pub mod syncmeta;
 
 pub use checks::{AccessType, RaceKind};
@@ -66,3 +68,4 @@ pub use detector::{Degradation, Iguard, IguardStats};
 pub use error::IguardError;
 pub use report::{RaceRecord, RaceSite};
 pub use scratchpad::{ScratchpadGuard, SharedRace};
+pub use shard::{ShardConfig, ShardedIguard};
